@@ -1,0 +1,69 @@
+"""Ablation: logic optimization and techmap on/off.
+
+With "at most 2048 qubits for code plus data ... wasting qubits would be
+unacceptable" (Section 4.1).  This ablation measures what the ABC-role
+optimizer and the compound-cell techmap buy on the paper's workloads:
+cell counts and logical variable counts with each pass disabled.
+"""
+
+from benchmarks.conftest import LISTING_5_CIRCSAT, LISTING_6_MULT, LISTING_7_AUSTRALIA
+
+
+def _variables(compiler, source, **options):
+    program = compiler.compile(source, **options)
+    stats = program.statistics()
+    return stats["num_cells"], stats["logical_variables"]
+
+
+def test_optimizer_ablation(benchmark, compiler):
+    def measure():
+        rows = {}
+        for name, source in (
+            ("circsat", LISTING_5_CIRCSAT),
+            ("mult", LISTING_6_MULT),
+            ("australia", LISTING_7_AUSTRALIA),
+        ):
+            raw_cells, raw_vars = _variables(
+                compiler, source, run_optimizer=False, run_techmap=False
+            )
+            opt_cells, opt_vars = _variables(
+                compiler, source, run_techmap=False
+            )
+            full_cells, full_vars = _variables(compiler, source)
+            rows[name] = {
+                "unoptimized": (raw_cells, raw_vars),
+                "optimized": (opt_cells, opt_vars),
+                "optimized+techmap": (full_cells, full_vars),
+            }
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for name, row in rows.items():
+        # Optimization never grows the circuit, and the full pipeline
+        # never uses more logical variables than the raw lowering.
+        assert row["optimized"][0] <= row["unoptimized"][0], name
+        assert row["optimized+techmap"][1] <= row["unoptimized"][1], name
+    benchmark.extra_info["rows"] = {
+        k: {s: list(v) for s, v in row.items()} for k, row in rows.items()
+    }
+
+
+def test_techmap_variable_savings_on_compound_logic(benchmark, compiler):
+    """Logic shaped like AOI/OAI benefits most from compound cells."""
+    source = """
+    module aoi_ish (a, b, c, d, y);
+        input a, b, c, d;
+        output y;
+        assign y = ~((a & b) | (c & d));
+    endmodule
+    """
+
+    def measure():
+        _, without = _variables(compiler, source, run_techmap=False)
+        _, with_map = _variables(compiler, source)
+        return without, with_map
+
+    without, with_map = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert with_map <= without
+    benchmark.extra_info["variables_without_techmap"] = without
+    benchmark.extra_info["variables_with_techmap"] = with_map

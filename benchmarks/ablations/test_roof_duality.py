@@ -1,0 +1,63 @@
+"""Ablation: roof-duality qubit elision on/off (Section 4.4).
+
+qmasm optionally "uses SAPI's implementation of roof duality to elide
+qubits whose final value can be determined a priori."  The more of a
+program's inputs are pinned, the more of the circuit is determined and
+the more qubits the presolve removes.
+"""
+
+from repro.ising.roofduality import fix_variables
+
+from benchmarks.conftest import LISTING_5_CIRCSAT
+
+
+def test_roof_duality_elision_vs_pinning(benchmark, compiler):
+    """How many qubits the presolve elides depends on how strongly the
+    program is pinned.  Roof duality is a *relaxation*: balanced
+    XOR-style gadgets (the ancilla cells) admit fractional optima, so
+    even fully-pinned circuits keep some undetermined variables -- the
+    realistic behaviour of qmasm -O, which elides some, not all."""
+    program = compiler.compile(LISTING_5_CIRCSAT)
+
+    def measure():
+        rows = {}
+        for label, pins, strength in (
+            ("no pins", [], None),
+            ("inputs pinned (default strength)", ["a := 1", "b := 1", "c := 0"], None),
+            ("inputs pinned (strong)", ["a := 1", "b := 1", "c := 0"], 8.0),
+        ):
+            model, _ = compiler.runner._to_logical(
+                program.logical, pins
+            ).to_ising(pin_strength=strength)
+            fixed = fix_variables(model)
+            rows[label] = {"variables": len(model), "fixed": len(fixed)}
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    # Nothing is determined a priori without pins (the bare program is a
+    # symmetric relation), and strong pins elide at least the pinned
+    # inputs plus whatever propagates through un-balanced gates.
+    assert rows["no pins"]["fixed"] == 0
+    strong = rows["inputs pinned (strong)"]["fixed"]
+    assert strong >= 3
+    assert strong >= rows["inputs pinned (default strength)"]["fixed"]
+    benchmark.extra_info["rows"] = rows
+
+
+def test_roof_duality_correctness_cost(benchmark, compiler):
+    """Elision must not change the answers (checked) -- this records the
+    runtime cost of the presolve itself."""
+    program = compiler.compile(LISTING_5_CIRCSAT)
+
+    def run_with_elision():
+        return compiler.run(
+            program,
+            pins=["y := true"],
+            solver="exact",
+            use_roof_duality=True,
+        )
+
+    result = benchmark(run_with_elision)
+    best = result.valid_solutions[0]
+    assert (best.value_of("a"), best.value_of("b"), best.value_of("c")) == (1, 1, 0)
+    benchmark.extra_info["fixed_variables"] = result.info["roof_duality_fixed"]

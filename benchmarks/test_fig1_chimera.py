@@ -1,0 +1,35 @@
+"""F1 -- Figure 1: the Chimera topology of a D-Wave 2000Q.
+
+Regenerates the structure Figure 1 illustrates: the upper-left 2x2
+array of unit cells (K_{4,4} internal couplers, vertical qubits linked
+north-south, horizontal east-west) and the full C16 with its nominal
+2048 qubits.
+"""
+
+import networkx as nx
+
+from repro.hardware.chimera import ChimeraCoordinates, chimera_graph
+
+
+def test_fig1_2x2_fragment(benchmark):
+    graph = benchmark(chimera_graph, 2)
+    coords = ChimeraCoordinates(2)
+    assert graph.number_of_nodes() == 32
+    # Internal: 4 cells x 16 K44 edges; external: 4 N-S + 4 E-W per
+    # neighboring cell pair (2 pairs each direction).
+    assert graph.number_of_edges() == 4 * 16 + 2 * 4 + 2 * 4
+    # Figure 1's wiring pattern.
+    assert graph.has_edge(coords.linear((0, 0, 0, 0)), coords.linear((1, 0, 0, 0)))
+    assert graph.has_edge(coords.linear((0, 0, 1, 0)), coords.linear((0, 1, 1, 0)))
+    assert nx.is_bipartite(graph)
+
+
+def test_fig1_c16_full_machine(benchmark):
+    graph = benchmark(chimera_graph, 16)
+    assert graph.number_of_nodes() == 2048  # "N <= 2048" (Section 2)
+    assert graph.number_of_edges() == 16 * 16 * 16 + 2 * 16 * 15 * 4
+    degrees = [d for _, d in graph.degree()]
+    assert max(degrees) == 6
+    benchmark.extra_info["paper"] = "D-Wave 2000Q: C16, nominal 2048 qubits"
+    benchmark.extra_info["measured_qubits"] = graph.number_of_nodes()
+    benchmark.extra_info["measured_couplers"] = graph.number_of_edges()

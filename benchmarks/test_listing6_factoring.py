@@ -1,0 +1,88 @@
+"""L6 -- Listing 6: factoring by running a multiplier backward.
+
+Reproduces the paper's Section 5.3 results: pinning
+C[7:0] := 10001111 (143) returns exactly the factorizations
+{A=11, B=13} and {A=13, B=11}; pinning A and B multiplies; pinning C and
+A divides.
+"""
+
+import pytest
+
+from benchmarks.conftest import LISTING_6_MULT
+
+
+@pytest.fixture(scope="module")
+def mult(compiler):
+    return compiler.compile(LISTING_6_MULT)
+
+
+def test_listing6_factor_143(benchmark, compiler, mult):
+    def solve():
+        return compiler.run(
+            mult, pins=["C[7:0] := 10001111"], solver="sa", num_reads=800
+        )
+
+    result = benchmark.pedantic(solve, rounds=1, iterations=1)
+    factorizations = {
+        (s.value_of("A"), s.value_of("B"))
+        for s in result.valid_solutions
+        if s.value_of("A") * s.value_of("B") == 143
+    }
+    assert factorizations == {(11, 13), (13, 11)}
+    benchmark.extra_info["paper"] = "two unique solutions: {A=11,B=13}, {A=13,B=11}"
+    benchmark.extra_info["measured"] = sorted(map(str, factorizations))
+
+
+def test_listing6_multiply(benchmark, compiler, mult):
+    def solve():
+        return compiler.run(
+            mult,
+            pins=["A[3:0] := 1101", "B[3:0] := 1011"],
+            solver="sa",
+            num_reads=300,
+        )
+
+    result = benchmark.pedantic(solve, rounds=1, iterations=1)
+    assert result.valid_solutions[0].value_of("C") == 143
+    benchmark.extra_info["C"] = result.valid_solutions[0].value_of("C")
+
+
+def test_listing6_divide(benchmark, compiler, mult):
+    def solve():
+        return compiler.run(
+            mult,
+            pins=["C[7:0] := 10001111", "A[3:0] := 1101"],
+            solver="sa",
+            num_reads=500,
+        )
+
+    result = benchmark.pedantic(solve, rounds=1, iterations=1)
+    assert result.valid_solutions[0].value_of("B") == 11
+    benchmark.extra_info["B"] = result.valid_solutions[0].value_of("B")
+
+
+def test_listing6_other_semiprimes(benchmark, compiler, mult):
+    """Generalization: factor several semiprimes with the same program."""
+    semiprimes = {15: {(3, 5), (5, 3)}, 77: {(7, 11), (11, 7)},
+                  143: {(11, 13), (13, 11)}}
+
+    def solve_all():
+        found = {}
+        for value in semiprimes:
+            result = compiler.run(
+                mult, pins=[f"C[7:0] := {value}"], solver="sa", num_reads=600
+            )
+            found[value] = {
+                (s.value_of("A"), s.value_of("B"))
+                for s in result.valid_solutions
+                if s.value_of("A") * s.value_of("B") == value
+                and s.value_of("A") > 1 and s.value_of("B") > 1
+            }
+        return found
+
+    found = benchmark.pedantic(solve_all, rounds=1, iterations=1)
+    for value, expected in semiprimes.items():
+        assert found[value] & expected, f"no factorization of {value} found"
+    benchmark.extra_info["factored"] = {
+        str(k): sorted(map(str, v)) for k, v in found.items()
+    }

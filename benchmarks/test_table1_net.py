@@ -1,0 +1,51 @@
+"""T1 -- Table 1: a two-ended net as a quadratic pseudo-Boolean function.
+
+Regenerates the paper's Table 1: for H(sigma_A, sigma_Y) = -sigma_A
+sigma_Y, the rows (-1,-1) and (+1,+1) are minima and the mixed rows are
+not -- a net is an equality bias.  Also checks the fan-out form given in
+Section 4.3.1 (one output driving four inputs).
+"""
+
+from repro.ising.cells import wire_hamiltonian
+from repro.ising.model import IsingModel, SPIN_FALSE, SPIN_TRUE
+
+
+def _table1_rows():
+    model = wire_hamiltonian("A", "Y")
+    rows = []
+    for sa in (SPIN_FALSE, SPIN_TRUE):
+        for sy in (SPIN_FALSE, SPIN_TRUE):
+            energy = model.energy({"A": sa, "Y": sy})
+            rows.append((sa, sy, energy))
+    minimum = min(e for _, _, e in rows)
+    return rows, minimum
+
+
+def test_table1_two_ended_net(benchmark):
+    rows, minimum = benchmark(_table1_rows)
+    # Paper's Table 1: -1 on agreeing rows, +1 on disagreeing rows.
+    table = {(sa, sy): e for sa, sy, e in rows}
+    assert table[(-1, -1)] == table[(1, 1)] == -1.0
+    assert table[(-1, 1)] == table[(1, -1)] == +1.0
+    minima = [(sa, sy) for sa, sy, e in rows if e == minimum]
+    assert minima == [(-1, -1), (1, 1)]
+    benchmark.extra_info["paper"] = "minima exactly at sigma_A == sigma_Y"
+    benchmark.extra_info["measured_table"] = {
+        f"A={sa} Y={sy}": e for sa, sy, e in rows
+    }
+
+
+def test_table1_fanout_net(benchmark):
+    """Section 4.3.1's fan-out: Y driving A, B, C, D."""
+
+    def build_and_solve():
+        model = IsingModel()
+        for sink in "ABCD":
+            model.update(wire_hamiltonian("Y", sink))
+        return model.ground_states()
+
+    _, states = benchmark(build_and_solve)
+    assert len(states) == 2
+    for state in states:
+        assert len({state[v] for v in "YABCD"}) == 1  # all equal
+    benchmark.extra_info["ground_states"] = len(states)

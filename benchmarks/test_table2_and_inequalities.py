@@ -1,0 +1,77 @@
+"""T2 -- Table 2: the AND gate's system of inequalities.
+
+Regenerates Table 2 by solving the system with our LP-based synthesizer
+(the paper used MiniZinc) and evaluating the resulting H on all eight
+truth-table rows: valid rows must all equal k, invalid rows must exceed
+it.  Also verifies the paper's printed example solution (k = -3 with
+H = 2Y - A - B - 2YA - 2YB + AB).
+"""
+
+import itertools
+
+import pytest
+
+from repro.ising.model import IsingModel
+from repro.ising.penalty import synthesize_penalty, truth_table_of
+
+AND_ROWS = truth_table_of(lambda a, b: a and b, 2)
+
+#: The example solution column printed in Table 2.
+PAPER_EXAMPLE = IsingModel(
+    {"Y": 2.0, "A": -1.0, "B": -1.0},
+    {("Y", "A"): -2.0, ("Y", "B"): -2.0, ("A", "B"): 1.0},
+)
+PAPER_K = -3.0
+
+
+def _synthesize():
+    return synthesize_penalty(
+        AND_ROWS, ["Y", "A", "B"], max_ancillas=0,
+        h_range=(-2.0, 2.0), j_range=(-2.0, 2.0),
+    )
+
+
+def test_table2_system_solved_by_lp(benchmark):
+    penalty = benchmark(_synthesize)
+    model = penalty.model
+    valid = set(AND_ROWS_SPINS)
+    column = {}
+    for spins in itertools.product((-1, 1), repeat=3):
+        energy = model.energy(dict(zip(("Y", "A", "B"), spins)))
+        column[spins] = energy
+        if spins in valid:
+            assert energy == pytest.approx(penalty.ground_energy)
+        else:
+            assert energy > penalty.ground_energy + 1e-9
+    benchmark.extra_info["k"] = penalty.ground_energy
+    benchmark.extra_info["gap"] = penalty.gap
+    benchmark.extra_info["paper"] = "k = -3, example gap rows {1, 9, 1, 1}"
+
+
+AND_ROWS_SPINS = [
+    tuple(1 if b else -1 for b in row) for row in AND_ROWS
+]
+
+
+def test_table2_paper_example_column(benchmark):
+    """The 'Example' column of Table 2, evaluated verbatim."""
+
+    def evaluate():
+        return {
+            spins: PAPER_EXAMPLE.energy(dict(zip(("Y", "A", "B"), spins)))
+            for spins in itertools.product((-1, 1), repeat=3)
+        }
+
+    column = benchmark(evaluate)
+    # Table 2's Example column, in (Y, A, B) order:
+    assert column[(-1, -1, -1)] == pytest.approx(PAPER_K)
+    assert column[(-1, -1, 1)] == pytest.approx(PAPER_K)
+    assert column[(-1, 1, -1)] == pytest.approx(PAPER_K)
+    assert column[(-1, 1, 1)] == pytest.approx(1.0)
+    assert column[(1, -1, -1)] == pytest.approx(9.0)
+    assert column[(1, -1, 1)] == pytest.approx(1.0)
+    assert column[(1, 1, -1)] == pytest.approx(1.0)
+    assert column[(1, 1, 1)] == pytest.approx(PAPER_K)
+    benchmark.extra_info["measured_column"] = {
+        str(k): v for k, v in column.items()
+    }

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Four-coloring the map of Australia (Section 5.4, Listing 7).
+
+The Verilog verifier below checks a proposed coloring: each region gets
+a 2-bit color, and ``valid`` is true exactly when every pair of adjacent
+regions differs.  Pinning ``valid := true`` and running backward makes
+the annealer *produce* colorings -- and because annealing samples the
+solution space, repeated reads return many different valid colorings
+(the paper's point that quantum computers are fundamentally stochastic).
+
+This example also runs the classical MiniZinc/Chuffed-style baseline of
+Section 6.2 on the paper's Listing 8 model.
+
+Run:  python examples/map_coloring.py
+"""
+
+from repro import VerilogAnnealerCompiler
+from repro.solvers.csp import CSPSolver, parse_minizinc
+
+LISTING_7 = """
+module australia (NSW, QLD, SA, VIC, WA, NT, ACT, valid);
+   input [1:0] NSW, QLD, SA, VIC, WA, NT, ACT;
+   output valid;
+
+   assign valid = WA != NT && WA != SA && NT != SA && NT !=
+       QLD && SA != QLD && SA != NSW && SA != VIC && QLD
+       != NSW && NSW != VIC && NSW != ACT;
+endmodule
+"""
+
+LISTING_8 = """
+var 1..4: NSW;
+var 1..4: QLD;
+var 1..4: SA;
+var 1..4: VIC;
+var 1..4: WA;
+var 1..4: NT;
+var 1..4: ACT;
+constraint WA != NT;
+constraint WA != SA;
+constraint NT != SA;
+constraint NT != QLD;
+constraint SA != QLD;
+constraint SA != NSW;
+constraint SA != VIC;
+constraint QLD != NSW;
+constraint NSW != VIC;
+constraint NSW != ACT;
+solve satisfy;
+"""
+
+REGIONS = ["NSW", "QLD", "SA", "VIC", "WA", "NT", "ACT"]
+ADJACENT = [
+    ("WA", "NT"), ("WA", "SA"), ("NT", "SA"), ("NT", "QLD"),
+    ("SA", "QLD"), ("SA", "NSW"), ("SA", "VIC"), ("QLD", "NSW"),
+    ("NSW", "VIC"), ("NSW", "ACT"),
+]
+
+
+def coloring_is_valid(colors) -> bool:
+    return all(colors[a] != colors[b] for a, b in ADJACENT)
+
+
+def main() -> None:
+    compiler = VerilogAnnealerCompiler(seed=42)
+    program = compiler.compile(LISTING_7)
+    stats = program.statistics()
+    print("Compilation (cf. paper Section 6.1):")
+    print(f"  Verilog lines      : {stats['verilog_lines']}")
+    print(f"  EDIF lines         : {stats['edif_lines']}")
+    print(f"  QMASM lines        : {stats['qmasm_lines']}")
+    print(f"  logical variables  : {stats['logical_variables']}")
+
+    # ------------------------------------------------------------------
+    # Backward on the simulated annealer: sample many valid colorings.
+    # ------------------------------------------------------------------
+    result = compiler.run(
+        program, pins=["valid := true"], solver="sa", num_reads=400
+    )
+    colorings = set()
+    for solution in result.valid_solutions:
+        colors = {r: solution.value_of(r) for r in REGIONS}
+        if coloring_is_valid(colors):
+            colorings.add(tuple(colors[r] for r in REGIONS))
+    print(f"\nAnnealer sampled {len(colorings)} distinct valid 4-colorings "
+          f"in 400 reads, e.g.:")
+    for sample in sorted(colorings)[:3]:
+        print("  " + ", ".join(f"{r}={c}" for r, c in zip(REGIONS, sample)))
+
+    # ------------------------------------------------------------------
+    # The classical baseline (MiniZinc Listing 8 + our Chuffed stand-in).
+    # ------------------------------------------------------------------
+    model = parse_minizinc(LISTING_8)
+    solver = CSPSolver()
+    solution = solver.solve(model)
+    print("\nClassical CSP baseline (Listing 8):")
+    print("  " + ", ".join(f"{r}={solution[r]}" for r in REGIONS))
+    print(f"  (deterministic: re-solving returns the same coloring; "
+          f"{solver.count_solutions(model)} total solutions exist)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Subset sum: another NP verifier run backward (Section 5.1's recipe).
+
+The paper's methodology generalizes beyond its three showcases: *any*
+NP problem whose verifier fits in Verilog becomes annealer-solvable.
+Here: given weights {11, 5, 19, 7, 3, 14}, is there a subset summing to
+exactly 29?  The Verilog below only *checks* a proposed subset; pinning
+``valid := true`` makes the annealer find one.
+
+Also demonstrated: the paper's caveat that an unsatisfiable instance
+makes the annealer "return an invalid solution", which the polynomial-
+time forward check then rejects.
+
+Run:  python examples/subset_sum.py
+"""
+
+from repro import VerilogAnnealerCompiler
+
+WEIGHTS = [11, 5, 19, 7, 3, 14]
+TARGET = 29
+
+VERIFIER = f"""
+module subset_sum (sel, valid);
+    input [5:0] sel;
+    output valid;
+    wire [7:0] total;
+
+    assign total = (sel[0] ? 8'd{WEIGHTS[0]} : 8'd0)
+                 + (sel[1] ? 8'd{WEIGHTS[1]} : 8'd0)
+                 + (sel[2] ? 8'd{WEIGHTS[2]} : 8'd0)
+                 + (sel[3] ? 8'd{WEIGHTS[3]} : 8'd0)
+                 + (sel[4] ? 8'd{WEIGHTS[4]} : 8'd0)
+                 + (sel[5] ? 8'd{WEIGHTS[5]} : 8'd0);
+    assign valid = total == 8'd{TARGET};
+endmodule
+"""
+
+
+def subset_of(selection: int):
+    return [w for i, w in enumerate(WEIGHTS) if (selection >> i) & 1]
+
+
+def main() -> None:
+    compiler = VerilogAnnealerCompiler(seed=17)
+    program = compiler.compile(VERIFIER)
+    stats = program.statistics()
+    print(f"Verifier: {stats['num_cells']} cells, "
+          f"{stats['logical_variables']} logical variables")
+
+    # ------------------------------------------------------------------
+    # Backward: find subsets summing to TARGET.
+    # ------------------------------------------------------------------
+    result = compiler.run(
+        program, pins=["valid := true"], solver="sa", num_reads=500
+    )
+    print(f"\nSubsets of {WEIGHTS} summing to {TARGET}:")
+    seen = set()
+    for solution in result.valid_solutions:
+        selection = solution.value_of("sel")
+        subset = subset_of(selection)
+        if sum(subset) == TARGET and selection not in seen:
+            seen.add(selection)
+            print(f"  {subset} (sel = {selection:06b})")
+
+    # Polynomial-time verification, as always.
+    simulator = program.simulator()
+    for selection in seen:
+        assert simulator.evaluate({"sel": selection})["valid"] == 1
+
+    # ------------------------------------------------------------------
+    # An unsatisfiable target: the annealer still returns *something*,
+    # but the forward check rejects it (Section 5.2's discard step).
+    # ------------------------------------------------------------------
+    impossible = 2  # no subset of the weights sums to 2
+    unsat = VERIFIER.replace(f"8'd{TARGET};", f"8'd{impossible};")
+    unsat_program = compiler.compile(unsat)
+    result = compiler.run(
+        unsat_program, pins=["valid := true"], solver="sa", num_reads=300
+    )
+    unsat_simulator = unsat_program.simulator()
+    accepted = [
+        s.value_of("sel")
+        for s in result.valid_solutions
+        if unsat_simulator.evaluate({"sel": s.value_of("sel")})["valid"]
+    ]
+    print(f"\nImpossible target {impossible}: "
+          f"{len(result.solutions)} proposals returned, "
+          f"{len(accepted)} survive the forward check (expected 0)")
+
+
+if __name__ == "__main__":
+    main()

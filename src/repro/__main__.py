@@ -1,0 +1,8 @@
+"""``python -m repro`` runs the verilog2qmasm command-line interface."""
+
+import sys
+
+from repro.core.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

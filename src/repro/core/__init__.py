@@ -1,0 +1,23 @@
+"""The paper's primary contribution: the end-to-end compiler pipeline.
+
+Verilog -> digital circuit -> EDIF -> QMASM -> logical Hamiltonian ->
+minor-embedded physical Hamiltonian -> anneal -> named results
+(Sections 4.1-4.4), runnable forward (pin inputs) or backward (pin
+outputs) per Section 4.3.6.
+"""
+
+from repro.core.compiler import (
+    CompiledProgram,
+    CompileOptions,
+    VerilogAnnealerCompiler,
+    compile_verilog,
+    run_verilog,
+)
+
+__all__ = [
+    "CompiledProgram",
+    "CompileOptions",
+    "VerilogAnnealerCompiler",
+    "compile_verilog",
+    "run_verilog",
+]

@@ -1,0 +1,136 @@
+"""Command-line interface: ``verilog2qmasm``.
+
+Compiles a Verilog file to QMASM (and optionally runs it), mirroring
+the paper's toolchain invocation style, including ``--pin``::
+
+    verilog2qmasm mult.v --pin "C[7:0] := 10001111" --run --solver sa
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.compiler import CompileOptions, VerilogAnnealerCompiler
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="verilog2qmasm",
+        description=(
+            "Compile classical Verilog code to a quadratic pseudo-Boolean "
+            "function and (optionally) minimize it on a simulated quantum "
+            "annealer.  Reproduction of Pakin, ASPLOS 2019."
+        ),
+    )
+    parser.add_argument("source", help="Verilog source file ('-' for stdin)")
+    parser.add_argument("--top", help="top module name (default: last defined)")
+    parser.add_argument(
+        "--pin",
+        action="append",
+        default=[],
+        metavar="'VAR := VALUE'",
+        help="pin a variable, e.g. --pin 'C[7:0] := 10001111' (repeatable)",
+    )
+    parser.add_argument(
+        "--steps",
+        type=int,
+        help="unroll sequential logic over this many time steps",
+    )
+    parser.add_argument(
+        "--emit",
+        choices=["qmasm", "edif", "stats", "qubo"],
+        default="qmasm",
+        help=(
+            "artifact to print when not running: the QMASM program, the "
+            "EDIF netlist, compile statistics, or a qbsolv-format .qubo "
+            "file (default: qmasm)"
+        ),
+    )
+    parser.add_argument("--run", action="store_true", help="execute the program")
+    parser.add_argument(
+        "--solver",
+        choices=["dwave", "sa", "exact", "tabu", "qbsolv"],
+        default="dwave",
+        help="execution backend (default: simulated D-Wave 2000Q)",
+    )
+    parser.add_argument(
+        "--reads", type=int, default=1000, help="number of anneals/reads"
+    )
+    parser.add_argument(
+        "--anneal-time", type=float, default=20.0, help="anneal time in us"
+    )
+    parser.add_argument("--seed", type=int, help="RNG seed for reproducibility")
+    parser.add_argument(
+        "--all-solutions",
+        action="store_true",
+        help="print every distinct solution, not just valid ones",
+    )
+    parser.add_argument(
+        "-O",
+        "--roof-duality",
+        action="store_true",
+        help="elide a-priori-determined qubits via roof duality",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.source == "-":
+        source = sys.stdin.read()
+    else:
+        with open(args.source, "r", encoding="utf-8") as handle:
+            source = handle.read()
+
+    compiler = VerilogAnnealerCompiler(seed=args.seed)
+    options = CompileOptions(top=args.top, unroll_steps=args.steps)
+    try:
+        program = compiler.compile(source, options)
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if not args.run:
+        if args.emit == "qmasm":
+            print(program.qmasm_source)
+        elif args.emit == "edif":
+            print(program.edif_text)
+        elif args.emit == "qubo":
+            from repro.qmasm.qubo_format import write_qubo_file
+
+            model, _ = program.logical.to_ising(apply_pins=False)
+            print(
+                write_qubo_file(
+                    model,
+                    comments=[f"compiled from module {program.netlist.name}"],
+                ),
+                end="",
+            )
+        else:
+            from repro.core.report import format_compile_summary
+
+            print(format_compile_summary(program))
+        return 0
+
+    result = compiler.run(
+        program,
+        pins=args.pin,
+        solver=args.solver,
+        num_reads=args.reads,
+        annealing_time_us=args.anneal_time,
+        use_roof_duality=args.roof_duality,
+    )
+    solutions = result.solutions if args.all_solutions else result.valid_solutions
+    if not solutions:
+        print("no valid solutions found; try more reads", file=sys.stderr)
+        return 2
+    from repro.core.report import format_run_result
+
+    print(format_run_result(result, valid_only=not args.all_solutions))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""End-to-end compilation: classical Verilog to annealer-ready form.
+
+:class:`VerilogAnnealerCompiler` chains every lowering step the paper
+describes, keeping all intermediate artifacts (netlists, EDIF text,
+QMASM source, the logical Hamiltonian) inspectable on the resulting
+:class:`CompiledProgram` -- the Section 6.1 static-properties analysis
+reads them straight off.
+
+Typical use::
+
+    compiler = VerilogAnnealerCompiler(seed=0)
+    program = compiler.compile(VERILOG_SOURCE)
+    result = compiler.run(program, pins=["C[7:0] := 10001111"],
+                          solver="sa", num_reads=1000)
+    for solution in result.valid_solutions:
+        print(solution.value_of("A"), solution.value_of("B"))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.edif.writer import write_edif
+from repro.edif.reader import read_edif
+from repro.edif2qmasm.translate import netlist_to_qmasm
+from repro.hdl.elaborator import elaborate
+from repro.qmasm.assembler import LogicalProgram, assemble
+from repro.qmasm.parser import parse_qmasm
+from repro.qmasm.runner import QmasmRunner, RunResult
+from repro.solvers.machine import DWaveSimulator
+from repro.synth.netlist import Netlist
+from repro.synth.opt import optimize
+from repro.synth.simulate import NetlistSimulator
+from repro.synth.techmap import techmap
+from repro.synth.unroll import unroll
+
+
+@dataclass
+class CompileOptions:
+    """Knobs for the lowering pipeline.
+
+    Attributes:
+        top: name of the top Verilog module (default: last defined).
+        parameters: top-module parameter overrides.
+        run_optimizer: apply the ABC-role netlist optimizations.
+        run_techmap: fold gates into compound Table 5 cells.
+        unroll_steps: for sequential designs, how many discrete time
+            steps to unroll (required if the design has flip-flops).
+        initial_state: per-flip-flop initial bit (0/1), or None to leave
+            the initial state as free inputs the annealer may solve for.
+    """
+
+    top: Optional[str] = None
+    parameters: Optional[Dict[str, int]] = None
+    run_optimizer: bool = True
+    run_techmap: bool = True
+    unroll_steps: Optional[int] = None
+    initial_state: Optional[int] = 0
+
+
+@dataclass
+class CompiledProgram:
+    """All artifacts of one compilation, highest to lowest level."""
+
+    verilog_source: str
+    elaborated: Netlist
+    netlist: Netlist
+    edif_text: str
+    qmasm_source: str
+    logical: LogicalProgram
+    options: CompileOptions = field(default_factory=CompileOptions)
+
+    def simulator(self) -> NetlistSimulator:
+        """A forward simulator over the final netlist (solution checking)."""
+        return NetlistSimulator(self.netlist)
+
+    def statistics(self) -> Dict[str, object]:
+        """The Section 6.1 static properties of this compilation."""
+        logical_model, _ = self.logical.to_ising(apply_pins=False)
+        return {
+            "verilog_lines": _code_lines(self.verilog_source),
+            "edif_lines": len(self.edif_text.splitlines()),
+            "qmasm_lines": _code_lines(self.qmasm_source),
+            "cells": self.netlist.cell_histogram(),
+            "num_cells": self.netlist.num_cells(),
+            "logical_variables": len(logical_model),
+            "logical_terms": logical_model.num_terms(),
+        }
+
+
+def _code_lines(text: str) -> int:
+    return sum(
+        1
+        for line in text.splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    )
+
+
+class VerilogAnnealerCompiler:
+    """The full Section 4 toolchain with a pluggable execution backend."""
+
+    def __init__(
+        self,
+        machine: Optional[DWaveSimulator] = None,
+        seed: Optional[int] = None,
+    ):
+        self.runner = QmasmRunner(machine=machine, seed=seed)
+
+    # ------------------------------------------------------------------
+    def compile(
+        self, verilog_source: str, options: Optional[CompileOptions] = None, **kwargs
+    ) -> CompiledProgram:
+        """Lower Verilog source through every stage to a logical program.
+
+        Keyword arguments are shorthand for :class:`CompileOptions`
+        fields (``compiler.compile(src, unroll_steps=4)``).
+        """
+        if options is None:
+            options = CompileOptions(**kwargs)
+        elif kwargs:
+            raise TypeError("pass either options or keyword overrides, not both")
+
+        elaborated = elaborate(
+            verilog_source, top=options.top, parameters=options.parameters
+        )
+        netlist = elaborated
+        if options.run_optimizer:
+            netlist = optimize(netlist)
+        if options.run_techmap:
+            netlist = techmap(netlist)
+        if netlist.has_sequential():
+            if options.unroll_steps is None:
+                raise ValueError(
+                    f"design {netlist.name!r} is sequential; pass unroll_steps"
+                )
+            netlist = unroll(
+                netlist, options.unroll_steps, initial_value=options.initial_state
+            )
+            if options.run_optimizer:
+                netlist = optimize(netlist)
+
+        edif_text = write_edif(netlist)
+        # Round-trip through the EDIF parser: the QMASM translation sees
+        # exactly what the interchange format carries, as in the paper.
+        qmasm_source = netlist_to_qmasm(read_edif(edif_text))
+        logical = assemble(parse_qmasm(qmasm_source))
+        return CompiledProgram(
+            verilog_source=verilog_source,
+            elaborated=elaborated,
+            netlist=netlist,
+            edif_text=edif_text,
+            qmasm_source=qmasm_source,
+            logical=logical,
+            options=options,
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program: Union[str, CompiledProgram],
+        pins: Sequence[str] = (),
+        solver: str = "dwave",
+        num_reads: int = 100,
+        **runner_kwargs,
+    ) -> RunResult:
+        """Execute a compiled program (compiling first if given source).
+
+        ``pins`` bind inputs for forward execution or outputs for
+        backward execution -- the same program runs either way.
+        """
+        if isinstance(program, str):
+            program = self.compile(program)
+        return self.runner.run(
+            program.logical,
+            pins=pins,
+            solver=solver,
+            num_reads=num_reads,
+            **runner_kwargs,
+        )
+
+
+def compile_verilog(
+    verilog_source: str, seed: Optional[int] = None, **options
+) -> CompiledProgram:
+    """One-shot compilation convenience wrapper."""
+    return VerilogAnnealerCompiler(seed=seed).compile(verilog_source, **options)
+
+
+def run_verilog(
+    verilog_source: str,
+    pins: Sequence[str] = (),
+    solver: str = "sa",
+    num_reads: int = 200,
+    seed: Optional[int] = None,
+    **options,
+) -> RunResult:
+    """Compile and execute in one call (quickstart convenience)."""
+    compiler = VerilogAnnealerCompiler(seed=seed)
+    program = compiler.compile(verilog_source, **options)
+    return compiler.run(program, pins=pins, solver=solver, num_reads=num_reads)

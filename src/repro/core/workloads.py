@@ -1,0 +1,240 @@
+"""NP-problem verifier generators (the Section 5 recipe, generalized).
+
+The paper's methodology: "rather than write a program that directly
+solves an NP problem, one can write a program that *verifies* a proposed
+solution then run the program backward."  The three showcases are
+hand-written; this module mechanizes the recipe, generating the Verilog
+verifier from a problem instance:
+
+- :func:`map_coloring_verilog` -- Listing 7 for *any* region graph;
+- :func:`cnf_verilog` / :func:`parse_dimacs` -- SAT from DIMACS CNF;
+- :func:`subset_sum_verilog` -- subset sum over given weights;
+- :func:`vertex_cover_verilog` -- vertex cover of a given size bound.
+
+Each returns Verilog text ready for
+:meth:`repro.core.compiler.VerilogAnnealerCompiler.compile`; pin the
+``valid`` output to true and the annealer searches for a witness.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Sequence, Tuple
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+class WorkloadError(Exception):
+    """Malformed problem instance."""
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise WorkloadError(f"{name!r} is not a legal Verilog identifier")
+    return name
+
+
+# ----------------------------------------------------------------------
+# Map coloring (generalizes Listing 7)
+# ----------------------------------------------------------------------
+def map_coloring_verilog(
+    regions: Sequence[str],
+    adjacent: Iterable[Tuple[str, str]],
+    num_colors: int = 4,
+    module_name: str = "map_coloring",
+) -> str:
+    """A Listing-7-style verifier for an arbitrary region graph.
+
+    Each region gets a ``ceil(log2(num_colors))``-bit color input;
+    ``valid`` is true when no adjacent pair matches and (when the color
+    count is not a power of two) every color is in range.
+    """
+    regions = [_check_name(r) for r in regions]
+    if len(set(regions)) != len(regions):
+        raise WorkloadError("duplicate region names")
+    if num_colors < 2:
+        raise WorkloadError("need at least two colors")
+    region_set = set(regions)
+    pairs = []
+    for a, b in adjacent:
+        if a not in region_set or b not in region_set:
+            raise WorkloadError(f"adjacency ({a}, {b}) references unknown region")
+        if a == b:
+            raise WorkloadError(f"region {a!r} adjacent to itself")
+        pairs.append((a, b))
+
+    bits = max(1, (num_colors - 1).bit_length())
+    constraints = [f"{a} != {b}" for a, b in pairs]
+    if num_colors != (1 << bits):
+        constraints += [f"{r} < {num_colors}" for r in regions]
+    condition = "\n        && ".join(constraints) if constraints else "1'b1"
+
+    ports = ", ".join(regions + ["valid"])
+    declarations = "\n".join(
+        f"    input [{bits - 1}:0] {r};" for r in regions
+    )
+    return (
+        f"module {module_name} ({ports});\n"
+        f"{declarations}\n"
+        "    output valid;\n"
+        f"    assign valid = {condition};\n"
+        "endmodule\n"
+    )
+
+
+# ----------------------------------------------------------------------
+# SAT from DIMACS CNF
+# ----------------------------------------------------------------------
+def parse_dimacs(text: str) -> Tuple[int, List[List[int]]]:
+    """Parse DIMACS CNF: returns (num_variables, clauses).
+
+    Each clause is a list of non-zero ints; negative means negated.
+    """
+    num_variables = None
+    clauses: List[List[int]] = []
+    current: List[int] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            tokens = line.split()
+            if len(tokens) != 4 or tokens[1] != "cnf":
+                raise WorkloadError(f"bad problem line (line {line_number})")
+            num_variables = int(tokens[2])
+            continue
+        if num_variables is None:
+            raise WorkloadError(f"clause before 'p cnf' line (line {line_number})")
+        for token in line.split():
+            literal = int(token)
+            if literal == 0:
+                if current:
+                    clauses.append(current)
+                    current = []
+            else:
+                if abs(literal) > num_variables:
+                    raise WorkloadError(
+                        f"literal {literal} exceeds variable count "
+                        f"(line {line_number})"
+                    )
+                current.append(literal)
+    if current:
+        clauses.append(current)
+    if num_variables is None:
+        raise WorkloadError("missing 'p cnf' line")
+    return num_variables, clauses
+
+
+def cnf_verilog(
+    num_variables: int,
+    clauses: Sequence[Sequence[int]],
+    module_name: str = "sat",
+) -> str:
+    """A SAT verifier: one input bit per variable, ``valid`` = formula.
+
+    Run backward with ``valid := true`` to search for a satisfying
+    assignment (the circuit-SAT generalization of Section 5.2).
+    """
+    if num_variables < 1:
+        raise WorkloadError("need at least one variable")
+    rendered = []
+    for clause in clauses:
+        if not clause:
+            raise WorkloadError("empty clause is trivially false")
+        literals = []
+        for literal in clause:
+            if literal == 0 or abs(literal) > num_variables:
+                raise WorkloadError(f"bad literal {literal}")
+            name = f"x[{abs(literal) - 1}]"
+            literals.append(name if literal > 0 else f"~{name}")
+        rendered.append("(" + " | ".join(literals) + ")")
+    condition = "\n        & ".join(rendered) if rendered else "1'b1"
+    return (
+        f"module {module_name} (x, valid);\n"
+        f"    input [{num_variables - 1}:0] x;\n"
+        "    output valid;\n"
+        f"    assign valid = {condition};\n"
+        "endmodule\n"
+    )
+
+
+def dimacs_verilog(text: str, module_name: str = "sat") -> str:
+    """DIMACS CNF text straight to a Verilog verifier."""
+    num_variables, clauses = parse_dimacs(text)
+    return cnf_verilog(num_variables, clauses, module_name)
+
+
+# ----------------------------------------------------------------------
+# Subset sum
+# ----------------------------------------------------------------------
+def subset_sum_verilog(
+    weights: Sequence[int],
+    target: int,
+    module_name: str = "subset_sum",
+) -> str:
+    """A subset-sum verifier: sel[i] selects weights[i]; valid = (sum == target)."""
+    if not weights:
+        raise WorkloadError("need at least one weight")
+    if any(w < 0 for w in weights) or target < 0:
+        raise WorkloadError("weights and target must be non-negative")
+    total = sum(weights)
+    if target > total:
+        raise WorkloadError(f"target {target} exceeds total weight {total}")
+    width = max(1, total.bit_length())
+    n = len(weights)
+    terms = "\n                 + ".join(
+        f"(sel[{i}] ? {width}'d{w} : {width}'d0)"
+        for i, w in enumerate(weights)
+    )
+    return (
+        f"module {module_name} (sel, valid);\n"
+        f"    input [{n - 1}:0] sel;\n"
+        "    output valid;\n"
+        f"    wire [{width - 1}:0] total;\n"
+        f"    assign total = {terms};\n"
+        f"    assign valid = total == {width}'d{target};\n"
+        "endmodule\n"
+    )
+
+
+# ----------------------------------------------------------------------
+# Vertex cover
+# ----------------------------------------------------------------------
+def vertex_cover_verilog(
+    num_vertices: int,
+    edges: Sequence[Tuple[int, int]],
+    max_size: int,
+    module_name: str = "vertex_cover",
+) -> str:
+    """A vertex-cover verifier: pick[v] selects vertex v; valid when
+    every edge is covered and at most ``max_size`` vertices are picked."""
+    if num_vertices < 1:
+        raise WorkloadError("need at least one vertex")
+    for u, v in edges:
+        if not (0 <= u < num_vertices and 0 <= v < num_vertices) or u == v:
+            raise WorkloadError(f"bad edge ({u}, {v})")
+    if not 0 < max_size <= num_vertices:
+        raise WorkloadError("max_size must be in 1..num_vertices")
+
+    count_width = max(1, num_vertices.bit_length())
+    covered = (
+        "\n        & ".join(
+            f"(pick[{u}] | pick[{v}])" for u, v in edges
+        )
+        if edges
+        else "1'b1"
+    )
+    count_terms = " + ".join(
+        f"{{{count_width - 1}'d0, pick[{i}]}}" if count_width > 1 else f"pick[{i}]"
+        for i in range(num_vertices)
+    )
+    return (
+        f"module {module_name} (pick, valid);\n"
+        f"    input [{num_vertices - 1}:0] pick;\n"
+        "    output valid;\n"
+        f"    wire [{count_width - 1}:0] count;\n"
+        f"    assign count = {count_terms};\n"
+        f"    wire covered = {covered};\n"
+        f"    assign valid = covered & (count <= {count_width}'d{max_size});\n"
+        "endmodule\n"
+    )

@@ -1,0 +1,25 @@
+"""EDIF netlist interchange (Section 4.2).
+
+The paper instructs Yosys to emit EDIF (Electronic Design Interchange
+Format), "a single, large s-expression, which makes it easy to parse
+mechanically", and edif2qmasm consumes it.  This package provides the
+same interchange point: :func:`write_edif` serializes a netlist the way
+Yosys does (external cell library, interface, instances, joined nets)
+and :func:`read_edif` parses it back, so the downstream translator is
+decoupled from the synthesizer exactly as in the paper's toolchain.
+"""
+
+from repro.edif.sexp import SExp, Symbol, parse_sexp, format_sexp, SExpError
+from repro.edif.writer import write_edif
+from repro.edif.reader import read_edif, EdifError
+
+__all__ = [
+    "SExp",
+    "Symbol",
+    "SExpError",
+    "parse_sexp",
+    "format_sexp",
+    "write_edif",
+    "read_edif",
+    "EdifError",
+]

@@ -1,0 +1,168 @@
+"""Netlist -> EDIF serialization, in the style Yosys emits.
+
+The output contains an ``external`` library declaring the standard-cell
+interfaces, a ``library`` holding the design cell with its interface and
+contents (instances + joined nets), and a ``design`` stanza naming the
+top cell.  Identifiers that are not legal EDIF names are emitted with
+the standard ``(rename safe "original")`` form, and multi-bit ports use
+``(array name width)`` with ``(member name index)`` references, matching
+Yosys conventions.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.ising.cells import CELL_LIBRARY
+from repro.edif.sexp import SExp, Symbol, format_sexp
+from repro.synth.netlist import CONSTANT_CELLS, Net, Netlist
+
+_SAFE_RE = re.compile(r"^[A-Za-z][A-Za-z0-9_]*$")
+
+
+def _sym(text: str) -> Symbol:
+    return Symbol(text)
+
+
+def _name(identifier: str) -> SExp:
+    """A bare symbol if legal, else ``(rename safe "original")``."""
+    if _SAFE_RE.match(identifier):
+        return _sym(identifier)
+    safe = re.sub(r"[^A-Za-z0-9_]", "_", identifier)
+    if not safe or not safe[0].isalpha():
+        safe = "id_" + safe
+    return [_sym("rename"), _sym(safe), identifier]
+
+
+def _cell_interface(kind: str) -> SExp:
+    ports: List[SExp] = []
+    if kind in CONSTANT_CELLS:
+        ports.append([_sym("port"), _sym("Y"), [_sym("direction"), _sym("OUTPUT")]])
+    else:
+        spec = CELL_LIBRARY[kind]
+        ports.append(
+            [_sym("port"), _sym(spec.output), [_sym("direction"), _sym("OUTPUT")]]
+        )
+        for port in spec.inputs:
+            ports.append(
+                [_sym("port"), _sym(port), [_sym("direction"), _sym("INPUT")]]
+            )
+    return [
+        _sym("cell"),
+        _sym(kind),
+        [_sym("cellType"), _sym("GENERIC")],
+        [
+            _sym("view"),
+            _sym("VIEW_NETLIST"),
+            [_sym("viewType"), _sym("NETLIST")],
+            [_sym("interface")] + ports,
+        ],
+    ]
+
+
+def write_edif(netlist: Netlist) -> str:
+    """Serialize a gate-level netlist as an EDIF 2.0.0 document."""
+    used_kinds = sorted({cell.kind for cell in netlist.cells.values()})
+
+    interface: List[SExp] = [_sym("interface")]
+    for port in netlist.ports.values():
+        direction = [_sym("direction"), _sym(port.direction.value.upper())]
+        if port.width == 1:
+            interface.append([_sym("port"), _name(port.name), direction])
+        else:
+            interface.append(
+                [
+                    _sym("port"),
+                    [_sym("array"), _name(port.name), port.width],
+                    direction,
+                ]
+            )
+
+    contents: List[SExp] = [_sym("contents")]
+    for cell in netlist.cells.values():
+        contents.append(
+            [
+                _sym("instance"),
+                _name(cell.name),
+                [
+                    _sym("viewRef"),
+                    _sym("VIEW_NETLIST"),
+                    [_sym("cellRef"), _sym(cell.kind), [_sym("libraryRef"), _sym("LIB")]],
+                ],
+            ]
+        )
+
+    for net, joined in _net_connections(netlist).items():
+        refs: List[SExp] = []
+        for instance, port, bit in joined:
+            if bit is None:
+                port_ref: SExp = _sym(port) if _SAFE_RE.match(port) else _name(port)
+            else:
+                port_ref = [_sym("member"), _name(port), bit]
+            if instance is None:
+                refs.append([_sym("portRef"), port_ref])
+            else:
+                refs.append(
+                    [_sym("portRef"), port_ref, [_sym("instanceRef"), _name(instance)]]
+                )
+        contents.append(
+            [_sym("net"), _name(f"net_{net}"), [_sym("joined")] + refs]
+        )
+
+    document: SExp = [
+        _sym("edif"),
+        _name(netlist.name),
+        [_sym("edifVersion"), 2, 0, 0],
+        [_sym("edifLevel"), 0],
+        [_sym("keywordMap"), [_sym("keywordLevel"), 0]],
+        [
+            _sym("external"),
+            _sym("LIB"),
+            [_sym("edifLevel"), 0],
+            [_sym("technology"), [_sym("numberDefinition")]],
+        ]
+        + [_cell_interface(kind) for kind in used_kinds],
+        [
+            _sym("library"),
+            _sym("DESIGN"),
+            [_sym("edifLevel"), 0],
+            [_sym("technology"), [_sym("numberDefinition")]],
+            [
+                _sym("cell"),
+                _name(netlist.name),
+                [_sym("cellType"), _sym("GENERIC")],
+                [
+                    _sym("view"),
+                    _sym("VIEW_NETLIST"),
+                    [_sym("viewType"), _sym("NETLIST")],
+                    interface,
+                    contents,
+                ],
+            ],
+        ],
+        [
+            _sym("design"),
+            _name(netlist.name),
+            [_sym("cellRef"), _name(netlist.name), [_sym("libraryRef"), _sym("DESIGN")]],
+        ],
+    ]
+    return format_sexp(document) + "\n"
+
+
+def _net_connections(netlist: Netlist):
+    """Group every (instance, port[, bit]) endpoint by net.
+
+    Endpoints with ``instance None`` are module-level port bits; their
+    ``bit`` is None for scalar ports.
+    """
+    joined: Dict[Net, List[Tuple]] = {}
+    for port in netlist.ports.values():
+        for i, net in enumerate(port.bits):
+            bit = None if port.width == 1 else i
+            joined.setdefault(net, []).append((None, port.name, bit))
+    for cell in netlist.cells.values():
+        for port_name, net in cell.connections.items():
+            joined.setdefault(net, []).append((cell.name, port_name, None))
+    # Nets with a single endpoint still appear (dangling), matching Yosys.
+    return dict(sorted(joined.items()))

@@ -1,0 +1,13 @@
+"""edif2qmasm: translate EDIF netlists into QMASM programs (Section 4.3).
+
+The approach is the paper's: each netlist *cell* instantiates the
+corresponding standard-cell macro from ``stdcell.qmasm``; each *net*
+becomes a bias for the connected variables to share a value (a QMASM
+``=`` chain); ground/power pseudo-cells become H_GND / H_VCC weights;
+and module ports get readable top-level names so results come back in
+the programmer's terms.
+"""
+
+from repro.edif2qmasm.translate import netlist_to_qmasm, edif_to_qmasm, TranslationError
+
+__all__ = ["netlist_to_qmasm", "edif_to_qmasm", "TranslationError"]

@@ -1,0 +1,512 @@
+"""Minor embedding: mapping logical variables onto chains of qubits.
+
+The Chimera graph contains no odd cycles, so almost none of the cell
+Hamiltonians of Table 5 fit the hardware directly (Section 4.4).  The
+fix is *minor embedding* (Choi 2008): replace a logical variable with a
+connected chain of physical qubits tied together by strong ferromagnetic
+(negative-J) couplers, such that every logical coupling is backed by at
+least one physical coupler between the two chains.
+
+We reproduce the randomized heuristic of Cai, Macready & Roy (the
+algorithm inside D-Wave's SAPI, which the paper uses): variables are
+embedded one at a time by growing shortest-path trees from the chains of
+already-embedded neighbors, with qubit costs that grow exponentially
+with how many chains already occupy a qubit; several improvement rounds
+then re-embed each variable in turn until no qubit is shared.  Because
+the heuristic is randomized, the physical qubit count varies from
+compilation to compilation -- exactly the behaviour Section 6.1 reports
+(369 +/- 26 qubits over 25 compilations).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+
+import networkx as nx
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra as _sparse_dijkstra
+
+from repro.ising.model import IsingModel
+from repro.solvers.sampleset import SampleSet
+
+Variable = Hashable
+Qubit = int
+
+
+class EmbeddingError(Exception):
+    """No valid embedding was found within the retry budget."""
+
+
+@dataclass
+class Embedding:
+    """A minor embedding: each logical variable's chain of qubits."""
+
+    chains: Dict[Variable, FrozenSet[Qubit]]
+
+    def __getitem__(self, v: Variable) -> FrozenSet[Qubit]:
+        return self.chains[v]
+
+    def __contains__(self, v: Variable) -> bool:
+        return v in self.chains
+
+    def __len__(self) -> int:
+        return len(self.chains)
+
+    def total_qubits(self) -> int:
+        """Physical qubit count -- the paper's Section 6.1 metric."""
+        return sum(len(chain) for chain in self.chains.values())
+
+    def max_chain_length(self) -> int:
+        return max((len(chain) for chain in self.chains.values()), default=0)
+
+    def used_qubits(self) -> Set[Qubit]:
+        out: Set[Qubit] = set()
+        for chain in self.chains.values():
+            out |= chain
+        return out
+
+    def validate(self, source_edges: Iterable[Tuple[Variable, Variable]], target: nx.Graph) -> None:
+        """Raise ``EmbeddingError`` unless this is a proper minor embedding.
+
+        Checks chain disjointness, chain connectivity in the target, and
+        that every source edge is backed by at least one target coupler.
+        """
+        seen: Set[Qubit] = set()
+        for v, chain in self.chains.items():
+            if not chain:
+                raise EmbeddingError(f"empty chain for {v!r}")
+            overlap = seen & chain
+            if overlap:
+                raise EmbeddingError(f"qubits {overlap} shared by multiple chains")
+            seen |= chain
+            if not all(q in target for q in chain):
+                raise EmbeddingError(f"chain for {v!r} uses qubits outside the target")
+            if len(chain) > 1 and not nx.is_connected(target.subgraph(chain)):
+                raise EmbeddingError(f"chain for {v!r} is not connected")
+        for u, v in source_edges:
+            if u == v:
+                continue
+            if not self._chains_coupled(u, v, target):
+                raise EmbeddingError(f"no coupler backs source edge ({u!r}, {v!r})")
+
+    def _chains_coupled(self, u: Variable, v: Variable, target: nx.Graph) -> bool:
+        chain_u, chain_v = self.chains[u], self.chains[v]
+        return any(target.has_edge(a, b) for a in chain_u for b in chain_v)
+
+
+# ----------------------------------------------------------------------
+# The heuristic embedder
+# ----------------------------------------------------------------------
+class _EmbedderState:
+    """One attempt at embedding a source graph into a target graph.
+
+    Shortest paths run through scipy's C-level Dijkstra over a directed
+    adjacency whose edge weight into a node is that node's usage cost,
+    so a full-C16 search stays fast enough for the 25-compilation sweep
+    of Section 6.1.
+    """
+
+    def __init__(self, source: nx.Graph, target: nx.Graph, rng: random.Random):
+        self.source = source
+        self.target = target
+        self.rng = rng
+        self.chains: Dict[Variable, Set[Qubit]] = {}
+        # Exponential overlap penalty base.  Sharing one qubit must cost
+        # more than any detour through free qubits, and detours can be
+        # as long as the target's diameter times the source degree, so
+        # the base scales with the target size.
+        self.penalty_base = max(8.0, float(len(target)))
+        #: Root-selection noise amplitude (breaks deterministic cycles).
+        self._noise = 0.5
+
+        self._nodes: List[Qubit] = list(target.nodes())
+        self._index: Dict[Qubit, int] = {q: i for i, q in enumerate(self._nodes)}
+        n = len(self._nodes)
+        rows, cols = [], []
+        for u, v in target.edges():
+            iu, iv = self._index[u], self._index[v]
+            rows.append(iu)
+            cols.append(iv)
+            rows.append(iv)
+            cols.append(iu)
+        self._rows = np.array(rows, dtype=np.int32)
+        self._cols = np.array(cols, dtype=np.int32)
+        self._n = n
+        self.usage = np.zeros(n, dtype=np.int32)
+
+    # -- chain bookkeeping ------------------------------------------------
+    def _claim(self, v: Variable, chain: Set[Qubit]) -> None:
+        self.chains[v] = chain
+        for q in chain:
+            self.usage[self._index[q]] += 1
+
+    def _release(self, v: Variable) -> None:
+        for q in self.chains.pop(v, ()):  # pragma: no branch
+            self.usage[self._index[q]] -= 1
+
+    def _cost_vector(self) -> np.ndarray:
+        return np.power(self.penalty_base, self.usage.astype(float))
+
+    # -- shortest-path machinery ------------------------------------------
+    def _dijkstra_from_chain(self, chain: Set[Qubit], costs: np.ndarray):
+        """Node-weighted multi-source Dijkstra (vectorized).
+
+        Distance to q counts the costs of the nodes *entered* along the
+        way (the chain's own qubits are free).  Returns (dist, parent)
+        as index-based numpy arrays.
+        """
+        graph = csr_matrix(
+            (costs[self._cols], (self._rows, self._cols)), shape=(self._n, self._n)
+        )
+        sources = [self._index[q] for q in chain]
+        dist, predecessors, _ = _sparse_dijkstra(
+            graph,
+            directed=True,
+            indices=sources,
+            return_predecessors=True,
+            min_only=True,
+        )
+        return dist, predecessors
+
+    def _path_to_chain(self, start: int, parent: np.ndarray, chain: Set[Qubit]) -> Set[Qubit]:
+        """Interior qubits of the tree path from ``start`` into ``chain``."""
+        out: Set[Qubit] = set()
+        node = start
+        while node >= 0 and self._nodes[node] not in chain:
+            out.add(self._nodes[node])
+            node = int(parent[node])
+        if node < 0 and self._nodes[start] not in chain:
+            raise EmbeddingError("disconnected shortest-path tree")
+        return out
+
+    # -- embedding a single variable ---------------------------------------
+    def embed_variable(self, v: Variable) -> None:
+        embedded_neighbors = [u for u in self.source.neighbors(v) if u in self.chains]
+        if not embedded_neighbors:
+            q = self._cheapest_free_qubit()
+            self._claim(v, {q})
+            return
+        costs = self._cost_vector()
+        searches = [
+            self._dijkstra_from_chain(self.chains[u], costs)
+            for u in embedded_neighbors
+        ]
+        total = costs.copy()
+        for dist, _ in searches:
+            total = total + dist
+        # Tiny random noise breaks argmin ties and the cycles a fully
+        # deterministic improvement sweep can fall into.
+        finite = np.isfinite(total)
+        if finite.any():
+            total = total + self._noise * np.array(
+                [self.rng.random() for _ in range(self._n)]
+            )
+        best_root = int(np.argmin(total))
+        if not np.isfinite(total[best_root]):
+            raise EmbeddingError(f"variable {v!r} cannot reach its neighbors")
+        chain: Set[Qubit] = {self._nodes[best_root]}
+        for u, (dist, parent) in zip(embedded_neighbors, searches):
+            chain |= self._path_to_chain(best_root, parent, self.chains[u])
+        self._claim(v, self._trimmed(v, chain))
+
+    def _cheapest_free_qubit(self) -> Qubit:
+        min_usage = int(self.usage.min())
+        candidates = np.where(self.usage == min_usage)[0]
+        return self._nodes[int(self.rng.choice(list(candidates)))]
+
+    # -- whole-graph passes --------------------------------------------------
+    def initial_pass(self) -> None:
+        """Scatter singleton chains across the target.
+
+        Spreading the initial placement (rather than growing one dense
+        cluster) leaves routing room everywhere; the improvement rounds
+        then pull connected variables together.
+        """
+        free = list(self._nodes)
+        self.rng.shuffle(free)
+        variables = list(self.source.nodes())
+        self.rng.shuffle(variables)
+        for v, q in zip(variables, free):
+            self._claim(v, {q})
+
+    def improvement_round(self) -> None:
+        order = list(self.source.nodes())
+        self.rng.shuffle(order)
+        for v in order:
+            self._release(v)
+            self.embed_variable(v)
+
+    def overlap_move(self, bystanders: int = 2, shake_noise: float = 8.0) -> None:
+        """Jointly rip out and re-embed every chain involved in overlap.
+
+        Releasing all overlap participants (plus a couple of random
+        bystanders to open space) *before* re-embedding any of them lets
+        the group relocate as a whole -- single-variable sweeps stall in
+        local minima where each chain individually has nowhere better
+        to go.
+        """
+        qubit_owners: Dict[int, List[Variable]] = {}
+        for v, chain in self.chains.items():
+            for q in chain:
+                qubit_owners.setdefault(self._index[q], []).append(v)
+        owners: Set[Variable] = set()
+        for owner_list in qubit_owners.values():
+            if len(owner_list) > 1:
+                owners.update(owner_list)
+        if not owners:
+            return
+        others = [v for v in self.chains if v not in owners]
+        self.rng.shuffle(others)
+        owners.update(others[:bystanders])
+        order = list(owners)
+        self.rng.shuffle(order)
+        for v in owners:
+            self._release(v)
+        saved_noise = self._noise
+        self._noise = shake_noise
+        try:
+            for v in order:
+                self.embed_variable(v)
+        finally:
+            self._noise = saved_noise
+
+    def max_usage(self) -> int:
+        return int(self.usage.max()) if self._n else 0
+
+    # -- post-processing -------------------------------------------------------
+    def _trimmed(self, v: Variable, chain: Set[Qubit]) -> Set[Qubit]:
+        """Drop chain qubits not needed for connectivity or coupling.
+
+        Keeping chains tight as they are built (not just at the end) is
+        what lets the improvement rounds converge: bloated path unions
+        crowd the graph and force overlaps.
+        """
+        neighbor_chains = [
+            self.chains[u] for u in self.source.neighbors(v) if u in self.chains
+        ]
+        chain = set(chain)
+        changed = True
+        while changed and len(chain) > 1:
+            changed = False
+            for q in sorted(chain):
+                candidate = chain - {q}
+                if not nx.is_connected(self.target.subgraph(candidate)):
+                    continue
+                if all(
+                    any(
+                        self.target.has_edge(a, b)
+                        for a in candidate
+                        for b in nc
+                    )
+                    for nc in neighbor_chains
+                ):
+                    chain = candidate
+                    changed = True
+                    break
+        return chain
+
+    def trim_chains(self) -> None:
+        """Re-trim every chain against its final neighborhood."""
+        for v in list(self.chains):
+            chain = self._trimmed(v, self.chains[v])
+            self._release(v)
+            self._claim(v, chain)
+
+
+def find_embedding(
+    source: nx.Graph,
+    target: nx.Graph,
+    seed: Optional[int] = None,
+    tries: int = 16,
+    rounds: int = 32,
+) -> Embedding:
+    """Find a minor embedding of ``source`` into ``target``.
+
+    Args:
+        source: the logical interaction graph (one node per variable,
+            one edge per non-zero J coefficient).
+        target: the hardware graph (e.g. ``chimera_graph(16)``).
+        seed: RNG seed; different seeds give different embeddings, which
+            is what makes Section 6.1's qubit counts vary per compile.
+        tries: independent randomized restarts before giving up.
+        rounds: improvement rounds per restart.
+
+    Raises:
+        EmbeddingError: if no valid embedding is found.
+    """
+    if len(source) == 0:
+        return Embedding({})
+    if len(source) > len(target):
+        raise EmbeddingError(
+            f"{len(source)} logical variables exceed {len(target)} qubits"
+        )
+    rng = random.Random(seed)
+    last_error: Optional[Exception] = None
+    for _ in range(tries):
+        state = _EmbedderState(source, target, random.Random(rng.getrandbits(64)))
+        try:
+            state.initial_pass()
+            # Two full sweeps route everything; overlap moves then
+            # dissolve the remaining contention.
+            state.improvement_round()
+            state.improvement_round()
+            for _ in range(rounds):
+                if state.max_usage() <= 1:
+                    break
+                state.overlap_move()
+            if state.max_usage() > 1:
+                continue
+            # Polish: extra sweeps shorten chains; keep the last valid
+            # configuration in case a sweep re-introduces overlap.
+            snapshot = {v: set(c) for v, c in state.chains.items()}
+            for _ in range(2):
+                state.improvement_round()
+                for _ in range(rounds // 2):
+                    if state.max_usage() <= 1:
+                        break
+                    state.overlap_move()
+                if state.max_usage() > 1:
+                    break
+                if int(state.usage.sum()) <= sum(len(c) for c in snapshot.values()):
+                    snapshot = {v: set(c) for v, c in state.chains.items()}
+            if state.max_usage() > 1:
+                for v in list(state.chains):
+                    state._release(v)
+                for v, chain in snapshot.items():
+                    state._claim(v, chain)
+            state.trim_chains()
+            embedding = Embedding(
+                {v: frozenset(chain) for v, chain in state.chains.items()}
+            )
+            embedding.validate(source.edges(), target)
+            return embedding
+        except EmbeddingError as exc:
+            last_error = exc
+    raise EmbeddingError(
+        f"no embedding found in {tries} tries"
+        + (f" (last error: {last_error})" if last_error else "")
+    )
+
+
+def source_graph_of(model: IsingModel) -> nx.Graph:
+    """The logical interaction graph of an Ising model."""
+    graph = nx.Graph()
+    graph.add_nodes_from(model.variables)
+    for (u, v), coupling in model.quadratic.items():
+        if coupling != 0.0:
+            graph.add_edge(u, v)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Applying an embedding to a model and undoing it on samples
+# ----------------------------------------------------------------------
+def default_chain_strength(model: IsingModel) -> float:
+    """QMASM's default: twice the largest-magnitude J in the program."""
+    strongest = max(model.max_abs_quadratic(), model.max_abs_linear(), 0.5)
+    return 2.0 * strongest
+
+
+def embed_ising(
+    model: IsingModel,
+    embedding: Embedding,
+    target: nx.Graph,
+    chain_strength: Optional[float] = None,
+) -> IsingModel:
+    """Produce the physical Hamiltonian of Section 4.4.
+
+    Linear biases are split evenly across each chain's qubits; each
+    logical coupling is split evenly across every available physical
+    coupler between the two chains; intra-chain couplers get the strong
+    ferromagnetic ``-chain_strength`` that equates the chain's qubits.
+    """
+    if chain_strength is None:
+        chain_strength = default_chain_strength(model)
+    if chain_strength <= 0:
+        raise ValueError("chain_strength must be positive")
+
+    physical = IsingModel(offset=model.offset)
+    for v, bias in model.linear.items():
+        chain = embedding[v]
+        for q in chain:
+            physical.add_variable(q, bias / len(chain))
+    for (u, v), coupling in model.quadratic.items():
+        if coupling == 0.0:
+            continue
+        couplers = [
+            (a, b)
+            for a in embedding[u]
+            for b in embedding[v]
+            if target.has_edge(a, b)
+        ]
+        if not couplers:
+            raise EmbeddingError(f"no coupler for logical edge ({u!r}, {v!r})")
+        for a, b in couplers:
+            physical.add_interaction(a, b, coupling / len(couplers))
+    for v in model.variables:
+        chain = embedding[v]
+        if len(chain) > 1:
+            for a, b in target.subgraph(chain).edges():
+                physical.add_interaction(a, b, -chain_strength)
+    return physical
+
+
+def unembed_sampleset(
+    physical_samples: SampleSet,
+    embedding: Embedding,
+    logical_model: IsingModel,
+    method: str = "majority",
+) -> SampleSet:
+    """Map physical samples back to logical variables.
+
+    Broken chains (qubits disagreeing within one chain) are resolved by
+    majority vote by default, or discarded with ``method="discard"``.
+    The returned set's ``info["chain_break_fraction"]`` records how often
+    chains broke, a standard health metric for embedded problems.
+    """
+    variables = list(logical_model.variables)
+    qubit_order = physical_samples.variables
+    qubit_index = {q: i for i, q in enumerate(qubit_order)}
+    chain_indices = {
+        v: [qubit_index[q] for q in sorted(embedding[v])] for v in variables
+    }
+
+    rows: List[List[int]] = []
+    occurrences: List[int] = []
+    breaks = 0
+    total_chains = 0
+    for i in range(len(physical_samples)):
+        record = physical_samples.records[i]
+        logical_row = []
+        broken = False
+        for v in variables:
+            spins = record[chain_indices[v]]
+            total = int(np.sum(spins))
+            total_chains += 1
+            if abs(total) != len(spins):
+                breaks += 1
+                broken = True
+            if total > 0:
+                logical_row.append(1)
+            elif total < 0:
+                logical_row.append(-1)
+            else:
+                logical_row.append(int(spins[0]))
+        if method == "discard" and broken:
+            continue
+        rows.append(logical_row)
+        occurrences.append(int(physical_samples.occurrences[i]))
+
+    info = dict(physical_samples.info)
+    info["chain_break_fraction"] = breaks / total_chains if total_chains else 0.0
+    if not rows:
+        out = SampleSet.empty(variables)
+        out.info = info
+        return out
+    records = np.array(rows, dtype=np.int8)
+    energies = logical_model.energies(records.astype(float), order=variables)
+    return SampleSet(variables, records, energies, np.array(occurrences), info)

@@ -1,0 +1,97 @@
+"""Coefficient-range enforcement and analog precision (Section 2).
+
+Engineering limitations restrict the 2000Q's coefficients to
+h in [-2.0, 2.0] and J in [-2.0, 1.0] (the J asymmetry comes from the
+rf-SQUID coupler physics).  qmasm "scales coefficients to honor the
+hardware-supported ranges"; because scaling every term by the same
+positive factor preserves the argmin, this is always safe.  The machine
+is also analog, so within those ranges precision is limited; we model
+that as quantization to a fixed number of steps.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.ising.model import IsingModel
+
+#: D-Wave 2000Q external-field range.
+H_RANGE: Tuple[float, float] = (-2.0, 2.0)
+#: D-Wave 2000Q coupler range (asymmetric: ferromagnetic couplings can
+#: be twice as strong as antiferromagnetic ones).
+J_RANGE: Tuple[float, float] = (-2.0, 1.0)
+
+
+def scale_factor(
+    model: IsingModel,
+    h_range: Tuple[float, float] = H_RANGE,
+    j_range: Tuple[float, float] = J_RANGE,
+) -> float:
+    """The largest uniform factor that keeps every coefficient in range.
+
+    Handles the asymmetric J range: a positive J may only reach
+    ``j_range[1]`` while a negative J may reach ``j_range[0]``.
+    """
+    limits = []
+    for bias in model.linear.values():
+        if bias > 0:
+            limits.append(h_range[1] / bias)
+        elif bias < 0:
+            limits.append(h_range[0] / bias)
+    for coupling in model.quadratic.values():
+        if coupling > 0:
+            limits.append(j_range[1] / coupling)
+        elif coupling < 0:
+            limits.append(j_range[0] / coupling)
+    if not limits:
+        return 1.0
+    return min(limits)
+
+
+def scale_to_hardware(
+    model: IsingModel,
+    h_range: Tuple[float, float] = H_RANGE,
+    j_range: Tuple[float, float] = J_RANGE,
+) -> Tuple[IsingModel, float]:
+    """Scale ``model`` so it exactly fills the hardware ranges.
+
+    Returns ``(scaled_model, factor)``.  Scaling up as well as down is
+    intentional: using the full analog range maximizes the effective
+    energy gaps relative to the machine's fixed noise floor.
+    """
+    factor = scale_factor(model, h_range, j_range)
+    return model.scaled(factor), factor
+
+
+def quantize(model: IsingModel, steps: int = 256) -> IsingModel:
+    """Round coefficients to the machine's analog precision.
+
+    The 2000Q's control precision is limited; we model it as ``steps``
+    uniform levels across each range (so an h of granularity 4/steps and
+    a J of granularity 3/steps by default).
+    """
+    if steps < 2:
+        raise ValueError("steps must be at least 2")
+    h_step = (H_RANGE[1] - H_RANGE[0]) / steps
+    j_step = (J_RANGE[1] - J_RANGE[0]) / steps
+    out = IsingModel(offset=model.offset)
+    for v, bias in model.linear.items():
+        out.add_variable(v, round(bias / h_step) * h_step)
+    for (u, v), coupling in model.quadratic.items():
+        out.add_interaction(u, v, round(coupling / j_step) * j_step)
+    return out
+
+
+def check_ranges(
+    model: IsingModel,
+    h_range: Tuple[float, float] = H_RANGE,
+    j_range: Tuple[float, float] = J_RANGE,
+    tol: float = 1e-9,
+) -> None:
+    """Raise ``ValueError`` if any coefficient falls outside the ranges."""
+    for v, bias in model.linear.items():
+        if not h_range[0] - tol <= bias <= h_range[1] + tol:
+            raise ValueError(f"h[{v!r}] = {bias} outside {h_range}")
+    for (u, v), coupling in model.quadratic.items():
+        if not j_range[0] - tol <= coupling <= j_range[1] + tol:
+            raise ValueError(f"J[{u!r},{v!r}] = {coupling} outside {j_range}")

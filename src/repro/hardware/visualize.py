@@ -1,0 +1,129 @@
+"""Text rendering of Chimera graphs and minor embeddings.
+
+Terminal-friendly views of what the place-and-route step did: which
+unit cells an embedding occupies, how long each chain is, and a
+Figure-1-style close-up of a single unit cell.  Useful when debugging
+embeddings or explaining the §6.1 qubit-count numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+import networkx as nx
+
+from repro.hardware.chimera import ChimeraCoordinates
+from repro.hardware.embedding import Embedding
+
+
+def render_occupancy(
+    embedding: Embedding,
+    rows: int,
+    columns: Optional[int] = None,
+    tile: int = 4,
+) -> str:
+    """A rows x columns map of unit cells: qubits used out of 8.
+
+    Each cell prints its used-qubit count (``.`` for empty), giving an
+    at-a-glance picture of how the embedding spreads over the chip.
+    """
+    if columns is None:
+        columns = rows
+    coords = ChimeraCoordinates(rows, columns, tile)
+    used_per_cell: Dict[tuple, int] = {}
+    for chain in embedding.chains.values():
+        for qubit in chain:
+            row, col, _, _ = coords.coordinate(qubit)
+            used_per_cell[(row, col)] = used_per_cell.get((row, col), 0) + 1
+
+    lines = [
+        "unit-cell occupancy (qubits used of "
+        f"{2 * tile} per cell; '.' = empty)"
+    ]
+    for row in range(rows):
+        cells = []
+        for col in range(columns):
+            used = used_per_cell.get((row, col), 0)
+            cells.append(f"{used}" if used else ".")
+        lines.append(" ".join(f"{c:>2}" for c in cells))
+    total = embedding.total_qubits()
+    lines.append(
+        f"{len(embedding)} chains, {total} qubits, "
+        f"{len(used_per_cell)} cells touched"
+    )
+    return "\n".join(lines)
+
+
+def render_chains(embedding: Embedding, limit: int = 30) -> str:
+    """A per-variable chain-length table, longest chains first."""
+    entries = sorted(
+        embedding.chains.items(), key=lambda kv: (-len(kv[1]), str(kv[0]))
+    )
+    lines = ["chain lengths (longest first)"]
+    for variable, chain in entries[:limit]:
+        bar = "#" * len(chain)
+        lines.append(f"  {str(variable):>24} {len(chain):>3} {bar}")
+    if len(entries) > limit:
+        lines.append(f"  ... {len(entries) - limit} more")
+    histogram: Dict[int, int] = {}
+    for chain in embedding.chains.values():
+        histogram[len(chain)] = histogram.get(len(chain), 0) + 1
+    summary = ", ".join(
+        f"{count}x len {length}" for length, count in sorted(histogram.items())
+    )
+    lines.append(f"  distribution: {summary}")
+    return "\n".join(lines)
+
+
+def render_unit_cell(
+    graph: nx.Graph,
+    row: int,
+    col: int,
+    rows: int,
+    columns: Optional[int] = None,
+    tile: int = 4,
+    occupied: Optional[Dict[int, Hashable]] = None,
+) -> str:
+    """A Figure-1-style close-up of one unit cell.
+
+    Vertical-partition qubits on the left, horizontal on the right,
+    with ``*`` marking couplers present in the (possibly dropped-out)
+    working graph and owner labels when ``occupied`` maps qubits to
+    variables.
+    """
+    if columns is None:
+        columns = rows
+    coords = ChimeraCoordinates(rows, columns, tile)
+    vertical = [coords.linear((row, col, 0, k)) for k in range(tile)]
+    horizontal = [coords.linear((row, col, 1, k)) for k in range(tile)]
+    occupied = occupied or {}
+
+    def label(qubit: int) -> str:
+        owner = occupied.get(qubit)
+        dead = qubit not in graph
+        mark = "x" if dead else ("o" if owner is not None else " ")
+        text = f"{qubit:>5}{mark}"
+        if owner is not None:
+            text += f" ({owner})"
+        return text
+
+    lines = [f"unit cell ({row}, {col}):  vertical | horizontal"]
+    for k in range(tile):
+        couplers = "".join(
+            "*" if graph.has_edge(vertical[k], horizontal[j]) else "-"
+            for j in range(tile)
+        )
+        lines.append(f"  {label(vertical[k]):<18} {couplers} {label(horizontal[k])}")
+    lines.append("  ('*' = working coupler, 'x' = dropped qubit, 'o' = used)")
+    return "\n".join(lines)
+
+
+def embedding_report(
+    embedding: Embedding, rows: int, columns: Optional[int] = None, tile: int = 4
+) -> str:
+    """Occupancy map plus chain table in one report string."""
+    return (
+        render_occupancy(embedding, rows, columns, tile)
+        + "\n\n"
+        + render_chains(embedding)
+    )

@@ -1,0 +1,30 @@
+"""Verilog frontend (Section 4.1).
+
+The paper settles on Verilog as the source language because it gives
+precise control over bit widths (qubits are scarce) and compiles to a
+small set of primitives.  This package parses and elaborates the
+synthesizable Verilog subset the paper's examples use -- multi-bit
+arithmetic and relational operators, conditionals, module hierarchy,
+``assign``, ``always`` blocks with flip-flop inference, case statements,
+and constant-bound ``for`` loops -- down to the gate-level netlist IR of
+:mod:`repro.synth`.
+
+Unsupported Verilog (matching the shortcomings the paper lists in
+Section 4.1: no unbounded loops, no floating point, no recursion)
+raises :class:`~repro.hdl.errors.VerilogError` with a source location.
+"""
+
+from repro.hdl.errors import VerilogError, VerilogSyntaxError, ElaborationError
+from repro.hdl.lexer import tokenize, Token
+from repro.hdl.parser import parse
+from repro.hdl.elaborator import elaborate
+
+__all__ = [
+    "VerilogError",
+    "VerilogSyntaxError",
+    "ElaborationError",
+    "tokenize",
+    "Token",
+    "parse",
+    "elaborate",
+]

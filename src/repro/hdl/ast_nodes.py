@@ -1,0 +1,258 @@
+"""Abstract syntax tree for the supported Verilog subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class Node:
+    """Base AST node; ``line`` points back at the source."""
+
+    line: int = field(default=0, compare=False)
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class Number(Expr):
+    value: int = 0
+    width: Optional[int] = None  # None for unsized literals (32-bit)
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass
+class Index(Expr):
+    """Bit select ``base[index]``."""
+
+    base: str = ""
+    index: Optional[Expr] = None
+
+
+@dataclass
+class PartSelect(Expr):
+    """Part select ``base[msb:lsb]`` (bounds must be constant)."""
+
+    base: str = ""
+    msb: Optional[Expr] = None
+    lsb: Optional[Expr] = None
+
+
+@dataclass
+class Concat(Expr):
+    """``{a, b, c}`` -- first element is most significant."""
+
+    parts: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Repeat(Expr):
+    """``{count{expr}}``."""
+
+    count: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class FunctionCall(Expr):
+    """``name(arg, ...)`` -- a call to a module-level function."""
+
+    name: str = ""
+    arguments: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Optional[Expr] = None
+    if_true: Optional[Expr] = None
+    if_false: Optional[Expr] = None
+
+
+# ----------------------------------------------------------------------
+# Statements (inside always blocks)
+# ----------------------------------------------------------------------
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Assignment(Stmt):
+    """Procedural assignment; ``blocking`` distinguishes ``=`` from ``<=``."""
+
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+    blocking: bool = True
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then_branch: Optional[Stmt] = None
+    else_branch: Optional[Stmt] = None
+
+
+@dataclass
+class CaseItem(Node):
+    labels: List[Expr] = field(default_factory=list)  # empty == default
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class Case(Stmt):
+    subject: Optional[Expr] = None
+    items: List[CaseItem] = field(default_factory=list)
+
+
+@dataclass
+class For(Stmt):
+    """``for (var = init; cond; var = update) body`` with constant trip count."""
+
+    var: str = ""
+    init: Optional[Expr] = None
+    cond: Optional[Expr] = None
+    update_var: str = ""
+    update: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+# ----------------------------------------------------------------------
+# Module items
+# ----------------------------------------------------------------------
+@dataclass
+class Item(Node):
+    pass
+
+
+@dataclass
+class Decl(Item):
+    """``input/output/wire/reg [msb:lsb] name1, name2 [= init];``"""
+
+    kind: str = "wire"  # input | output | wire | reg | integer | genvar
+    msb: Optional[Expr] = None
+    lsb: Optional[Expr] = None
+    names: List[str] = field(default_factory=list)
+    is_reg: bool = False  # for "output reg [..] x"
+    signed: bool = False
+    #: Net-declaration assignments: name -> initializer expression
+    #: (``wire x = a & b;``).
+    initializers: dict = field(default_factory=dict)
+
+
+@dataclass
+class FunctionDecl(Item):
+    """``function [msb:lsb] name; input ...; <body> endfunction``."""
+
+    name: str = ""
+    msb: Optional[Expr] = None
+    lsb: Optional[Expr] = None
+    ports: List[Decl] = field(default_factory=list)
+    locals: List[Decl] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ParamDecl(Item):
+    name: str = ""
+    value: Optional[Expr] = None
+    local: bool = False
+
+
+@dataclass
+class ContinuousAssign(Item):
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class SensitivityItem(Node):
+    edge: str = "level"  # posedge | negedge | level | star
+    signal: Optional[str] = None
+
+
+@dataclass
+class Always(Item):
+    sensitivity: List[SensitivityItem] = field(default_factory=list)
+    body: Optional[Stmt] = None
+
+    def is_sequential(self) -> bool:
+        return any(s.edge in ("posedge", "negedge") for s in self.sensitivity)
+
+
+@dataclass
+class PortConnection(Node):
+    port: Optional[str] = None  # None for positional
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class Instance(Item):
+    module: str = ""
+    name: str = ""
+    connections: List[PortConnection] = field(default_factory=list)
+    parameters: List[Tuple[str, Expr]] = field(default_factory=list)
+
+
+@dataclass
+class GenerateFor(Item):
+    """``generate for (i = 0; i < N; i = i + 1) begin : label ... end``.
+
+    The loop bounds must be elaboration-time constants; each iteration
+    replicates the contained items with instance names scoped as
+    ``label[i].<name>``.
+    """
+
+    var: str = ""
+    init: Optional[Expr] = None
+    cond: Optional[Expr] = None
+    update_var: str = ""
+    update: Optional[Expr] = None
+    label: str = ""
+    items: List[Item] = field(default_factory=list)
+
+
+@dataclass
+class Module(Node):
+    name: str = ""
+    port_order: List[str] = field(default_factory=list)
+    items: List[Item] = field(default_factory=list)
+
+
+@dataclass
+class SourceFile(Node):
+    modules: List[Module] = field(default_factory=list)
+
+    def module(self, name: str) -> Module:
+        for mod in self.modules:
+            if mod.name == name:
+                return mod
+        raise KeyError(f"no module named {name!r}")

@@ -1,0 +1,29 @@
+"""Error types for the Verilog frontend."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class VerilogError(Exception):
+    """Base class: any problem with the source program."""
+
+    def __init__(self, message: str, line: Optional[int] = None, column: Optional[int] = None):
+        location = ""
+        if line is not None:
+            location = f"line {line}"
+            if column is not None:
+                location += f", column {column}"
+            location = f" ({location})"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class VerilogSyntaxError(VerilogError):
+    """Tokenizer or parser failure."""
+
+
+class ElaborationError(VerilogError):
+    """Semantic failure: unknown identifiers, width problems, latches,
+    non-constant loop bounds, unsupported constructs."""

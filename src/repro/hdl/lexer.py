@@ -1,0 +1,142 @@
+"""Verilog tokenizer.
+
+Produces a flat token stream with line/column positions.  Handles
+``//`` and ``/* */`` comments, sized literals (``4'b1010``, ``8'hFF``,
+``'d10``), plain decimal literals, identifiers/keywords, and the
+operator set of the synthesizable subset.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.hdl.errors import VerilogSyntaxError
+
+KEYWORDS = {
+    "module", "endmodule", "input", "output", "inout", "wire", "reg",
+    "assign", "always", "begin", "end", "if", "else", "case", "casez",
+    "casex", "endcase", "default", "for", "while", "posedge", "negedge",
+    "or", "parameter", "localparam", "integer", "genvar", "generate",
+    "endgenerate", "function", "endfunction", "signed", "initial",
+}
+
+#: Multi-character operators, longest first.
+OPERATORS = [
+    "<<<", ">>>", "===", "!==",
+    "<=", ">=", "==", "!=", "&&", "||", "<<", ">>",
+    "+", "-", "*", "/", "%", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "[", "]", "{", "}", ",", ";", ":", ".", "?", "=", "#", "@",
+]
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_$]*")
+_SIZED_RE = re.compile(r"(\d+)?\s*'\s*(s?)([bBoOdDhH])\s*([0-9a-fA-FxXzZ_?]+)")
+_DECIMAL_RE = re.compile(r"\d[\d_]*")
+
+_BASES = {"b": 2, "o": 8, "d": 10, "h": 16}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    kind: "ident", "keyword", "number", "op", or "eof".
+    value: the text (operators/idents) or an (int value, width-or-None)
+        tuple for numbers.
+    """
+
+    kind: str
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize Verilog source, raising on unlexable input."""
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    length = len(source)
+
+    def column() -> int:
+        return pos - line_start + 1
+
+    while pos < length:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            line_start = pos
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = length if end == -1 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end == -1:
+                raise VerilogSyntaxError("unterminated block comment", line, column())
+            line += source.count("\n", pos, end)
+            newline = source.rfind("\n", pos, end)
+            if newline != -1:
+                line_start = newline + 1
+            pos = end + 2
+            continue
+
+        match = _SIZED_RE.match(source, pos)
+        if match:
+            width_text, _signed, base_char, digits = match.groups()
+            base = _BASES[base_char.lower()]
+            digits = digits.replace("_", "")
+            if re.search(r"[xXzZ?]", digits):
+                raise VerilogSyntaxError(
+                    "x/z digits are not supported (two-valued logic only)",
+                    line,
+                    column(),
+                )
+            try:
+                value = int(digits, base)
+            except ValueError:
+                raise VerilogSyntaxError(
+                    f"bad digits {digits!r} for base {base}", line, column()
+                ) from None
+            width = int(width_text) if width_text else None
+            if width is not None and width > 0 and value >= (1 << width):
+                value &= (1 << width) - 1  # Verilog truncates oversized literals
+            tokens.append(Token("number", (value, width), line, column()))
+            pos = match.end()
+            continue
+
+        match = _IDENT_RE.match(source, pos)
+        if match:
+            text = match.group()
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, column()))
+            pos = match.end()
+            continue
+
+        match = _DECIMAL_RE.match(source, pos)
+        if match:
+            value = int(match.group().replace("_", ""))
+            tokens.append(Token("number", (value, None), line, column()))
+            pos = match.end()
+            continue
+
+        for op in OPERATORS:
+            if source.startswith(op, pos):
+                tokens.append(Token("op", op, line, column()))
+                pos += len(op)
+                break
+        else:
+            raise VerilogSyntaxError(f"unexpected character {ch!r}", line, column())
+
+    tokens.append(Token("eof", None, line, column()))
+    return tokens

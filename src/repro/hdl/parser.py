@@ -1,0 +1,550 @@
+"""Recursive-descent parser for the supported Verilog subset.
+
+Covers everything the paper's listings use (Listings 3, 5, 6, 7 and the
+Figure 2 example) plus the usual synthesizable staples: ANSI and
+non-ANSI port styles, parameters, module instantiation (named and
+positional), always blocks with edge or level sensitivity, case
+statements, and constant-bound for loops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.hdl import ast_nodes as ast
+from repro.hdl.errors import VerilogSyntaxError
+from repro.hdl.lexer import Token, tokenize
+
+#: Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_UNARY_OPS = {"~", "!", "-", "+", "&", "|", "^"}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, kind: str, value=None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (value is None or token.value == value)
+
+    def accept(self, kind: str, value=None) -> Optional[Token]:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value=None) -> Token:
+        token = self.peek()
+        if not self.check(kind, value):
+            want = value if value is not None else kind
+            raise VerilogSyntaxError(
+                f"expected {want!r}, found {token.value!r}", token.line, token.column
+            )
+        return self.advance()
+
+    def error(self, message: str) -> VerilogSyntaxError:
+        token = self.peek()
+        return VerilogSyntaxError(message, token.line, token.column)
+
+    # -- top level --------------------------------------------------------
+    def parse_source(self) -> ast.SourceFile:
+        modules = []
+        while not self.check("eof"):
+            modules.append(self.parse_module())
+        if not modules:
+            raise self.error("no modules in source")
+        return ast.SourceFile(modules=modules)
+
+    def parse_module(self) -> ast.Module:
+        start = self.expect("keyword", "module")
+        name = self.expect("ident").value
+        module = ast.Module(line=start.line, name=name)
+        if self.accept("op", "#"):
+            self._parse_parameter_header(module)
+        if self.accept("op", "("):
+            self._parse_port_header(module)
+        self.expect("op", ";")
+        while not self.check("keyword", "endmodule"):
+            module.items.extend(self.parse_item())
+        self.expect("keyword", "endmodule")
+        return module
+
+    def _parse_parameter_header(self, module: ast.Module) -> None:
+        self.expect("op", "(")
+        while True:
+            self.expect("keyword", "parameter")
+            name = self.expect("ident").value
+            self.expect("op", "=")
+            value = self.parse_expression()
+            module.items.append(ast.ParamDecl(name=name, value=value))
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ")")
+
+    def _parse_port_header(self, module: ast.Module) -> None:
+        if self.accept("op", ")"):
+            return
+        if self.check("keyword") and self.peek().value in ("input", "output", "inout"):
+            self._parse_ansi_ports(module)
+        else:
+            while True:
+                module.port_order.append(self.expect("ident").value)
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", ")")
+
+    def _parse_ansi_ports(self, module: ast.Module) -> None:
+        direction = None
+        is_reg = False
+        signed = False
+        msb = lsb = None
+        while True:
+            token = self.peek()
+            if token.kind == "keyword" and token.value in ("input", "output", "inout"):
+                direction = self.advance().value
+                is_reg = bool(self.accept("keyword", "reg"))
+                signed = bool(self.accept("keyword", "signed"))
+                msb, lsb = self._maybe_range()
+            elif direction is None:
+                raise self.error("port direction expected")
+            name = self.expect("ident").value
+            module.port_order.append(name)
+            module.items.append(
+                ast.Decl(
+                    line=token.line,
+                    kind=direction,
+                    msb=msb,
+                    lsb=lsb,
+                    names=[name],
+                    is_reg=is_reg,
+                    signed=signed,
+                )
+            )
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ")")
+
+    def _maybe_range(self) -> Tuple[Optional[ast.Expr], Optional[ast.Expr]]:
+        if self.accept("op", "["):
+            msb = self.parse_expression()
+            self.expect("op", ":")
+            lsb = self.parse_expression()
+            self.expect("op", "]")
+            return msb, lsb
+        return None, None
+
+    # -- module items -------------------------------------------------------
+    def parse_item(self) -> List[ast.Item]:
+        token = self.peek()
+        if token.kind == "keyword":
+            if token.value in ("input", "output", "inout", "wire", "reg", "integer", "genvar"):
+                return [self.parse_decl()]
+            if token.value in ("parameter", "localparam"):
+                return [self.parse_param_decl()]
+            if token.value == "assign":
+                return [self.parse_continuous_assign()]
+            if token.value == "always":
+                return [self.parse_always()]
+            if token.value == "function":
+                return [self.parse_function()]
+            if token.value == "generate":
+                return [self.parse_generate()]
+            if token.value in ("initial", "while"):
+                raise self.error(f"{token.value!r} blocks are not supported")
+        if token.kind == "ident":
+            return [self.parse_instance()]
+        raise self.error(f"unexpected token {token.value!r} in module body")
+
+    def parse_decl(self) -> ast.Decl:
+        token = self.advance()
+        kind = token.value
+        is_reg = False
+        if kind in ("input", "output", "inout") and self.accept("keyword", "reg"):
+            is_reg = True
+        if kind == "wire" and self.accept("keyword", "reg"):
+            raise self.error("'wire reg' is not legal")
+        signed = bool(self.accept("keyword", "signed"))
+        msb, lsb = self._maybe_range()
+        names = []
+        initializers = {}
+
+        def one_name():
+            name = self.expect("ident").value
+            names.append(name)
+            if self.accept("op", "="):
+                if kind != "wire":
+                    raise self.error(
+                        "declaration assignments are only legal on wires"
+                    )
+                initializers[name] = self.parse_expression()
+
+        one_name()
+        while self.accept("op", ","):
+            one_name()
+        if self.accept("op", "["):
+            raise self.error("memories (arrays of regs) are not supported")
+        self.expect("op", ";")
+        return ast.Decl(
+            line=token.line, kind=kind, msb=msb, lsb=lsb, names=names,
+            is_reg=is_reg, signed=signed, initializers=initializers,
+        )
+
+    def parse_function(self) -> ast.FunctionDecl:
+        token = self.expect("keyword", "function")
+        self.accept("keyword", "signed")
+        msb, lsb = self._maybe_range()
+        name = self.expect("ident").value
+        self.expect("op", ";")
+        ports: list = []
+        local_decls: list = []
+        while self.check("keyword") and self.peek().value in (
+            "input", "reg", "integer",
+        ):
+            decl = self.parse_decl()
+            if decl.kind == "input":
+                ports.append(decl)
+            else:
+                local_decls.append(decl)
+        if not ports:
+            raise self.error("functions need at least one input")
+        body = [self.parse_statement()]
+        self.expect("keyword", "endfunction")
+        return ast.FunctionDecl(
+            line=token.line, name=name, msb=msb, lsb=lsb,
+            ports=ports, locals=local_decls, body=body,
+        )
+
+    def parse_param_decl(self) -> ast.ParamDecl:
+        token = self.advance()
+        local = token.value == "localparam"
+        self._maybe_range()  # parameter [31:0] N = ... (range ignored)
+        name = self.expect("ident").value
+        self.expect("op", "=")
+        value = self.parse_expression()
+        self.expect("op", ";")
+        return ast.ParamDecl(line=token.line, name=name, value=value, local=local)
+
+    def parse_generate(self) -> ast.GenerateFor:
+        token = self.expect("keyword", "generate")
+        self.expect("keyword", "for")
+        self.expect("op", "(")
+        var = self.expect("ident").value
+        self.expect("op", "=")
+        init = self.parse_expression()
+        self.expect("op", ";")
+        cond = self.parse_expression()
+        self.expect("op", ";")
+        update_var = self.expect("ident").value
+        self.expect("op", "=")
+        update = self.parse_expression()
+        self.expect("op", ")")
+        self.expect("keyword", "begin")
+        self.expect("op", ":")
+        label = self.expect("ident").value
+        items: list = []
+        while not self.check("keyword", "end"):
+            items.extend(self.parse_item())
+        self.expect("keyword", "end")
+        self.expect("keyword", "endgenerate")
+        for item in items:
+            if not isinstance(item, (ast.ContinuousAssign, ast.Instance)):
+                raise self.error(
+                    "generate blocks may contain only assigns and instances "
+                    "(declare wires outside the block)"
+                )
+        return ast.GenerateFor(
+            line=token.line, var=var, init=init, cond=cond,
+            update_var=update_var, update=update, label=label, items=items,
+        )
+
+    def parse_continuous_assign(self) -> ast.ContinuousAssign:
+        token = self.expect("keyword", "assign")
+        target = self.parse_lvalue()
+        self.expect("op", "=")
+        value = self.parse_expression()
+        self.expect("op", ";")
+        return ast.ContinuousAssign(line=token.line, target=target, value=value)
+
+    def parse_always(self) -> ast.Always:
+        token = self.expect("keyword", "always")
+        self.expect("op", "@")
+        sensitivity: List[ast.SensitivityItem] = []
+        if self.accept("op", "*"):
+            sensitivity.append(ast.SensitivityItem(edge="star"))
+        else:
+            self.expect("op", "(")
+            if self.accept("op", "*"):
+                sensitivity.append(ast.SensitivityItem(edge="star"))
+            else:
+                while True:
+                    edge = "level"
+                    if self.accept("keyword", "posedge"):
+                        edge = "posedge"
+                    elif self.accept("keyword", "negedge"):
+                        edge = "negedge"
+                    signal = self.expect("ident").value
+                    sensitivity.append(
+                        ast.SensitivityItem(edge=edge, signal=signal)
+                    )
+                    if not (self.accept("keyword", "or") or self.accept("op", ",")):
+                        break
+            self.expect("op", ")")
+        body = self.parse_statement()
+        return ast.Always(line=token.line, sensitivity=sensitivity, body=body)
+
+    def parse_instance(self) -> ast.Instance:
+        module = self.expect("ident").value
+        parameters: List[Tuple[str, ast.Expr]] = []
+        if self.accept("op", "#"):
+            self.expect("op", "(")
+            while True:
+                self.expect("op", ".")
+                pname = self.expect("ident").value
+                self.expect("op", "(")
+                parameters.append((pname, self.parse_expression()))
+                self.expect("op", ")")
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", ")")
+        token = self.expect("ident")
+        name = token.value
+        self.expect("op", "(")
+        connections: List[ast.PortConnection] = []
+        if not self.check("op", ")"):
+            while True:
+                if self.accept("op", "."):
+                    port = self.expect("ident").value
+                    self.expect("op", "(")
+                    expr = None if self.check("op", ")") else self.parse_expression()
+                    self.expect("op", ")")
+                    connections.append(ast.PortConnection(port=port, expr=expr))
+                else:
+                    connections.append(
+                        ast.PortConnection(port=None, expr=self.parse_expression())
+                    )
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return ast.Instance(
+            line=token.line, module=module, name=name,
+            connections=connections, parameters=parameters,
+        )
+
+    # -- statements ---------------------------------------------------------
+    def parse_statement(self) -> ast.Stmt:
+        token = self.peek()
+        if self.accept("keyword", "begin"):
+            block = ast.Block(line=token.line)
+            while not self.check("keyword", "end"):
+                block.statements.append(self.parse_statement())
+            self.expect("keyword", "end")
+            return block
+        if self.accept("keyword", "if"):
+            self.expect("op", "(")
+            cond = self.parse_expression()
+            self.expect("op", ")")
+            then_branch = self.parse_statement()
+            else_branch = None
+            if self.accept("keyword", "else"):
+                else_branch = self.parse_statement()
+            return ast.If(
+                line=token.line, cond=cond,
+                then_branch=then_branch, else_branch=else_branch,
+            )
+        if token.kind == "keyword" and token.value in ("case", "casez", "casex"):
+            if token.value != "case":
+                raise self.error(f"{token.value} is not supported (wildcards)")
+            return self.parse_case()
+        if self.accept("keyword", "for"):
+            return self.parse_for(token)
+        if self.accept("op", ";"):
+            return ast.Block(line=token.line)  # null statement
+        return self.parse_assignment_statement()
+
+    def parse_case(self) -> ast.Case:
+        token = self.expect("keyword", "case")
+        self.expect("op", "(")
+        subject = self.parse_expression()
+        self.expect("op", ")")
+        case = ast.Case(line=token.line, subject=subject)
+        while not self.check("keyword", "endcase"):
+            item = ast.CaseItem(line=self.peek().line)
+            if self.accept("keyword", "default"):
+                self.accept("op", ":")
+            else:
+                item.labels.append(self.parse_expression())
+                while self.accept("op", ","):
+                    item.labels.append(self.parse_expression())
+                self.expect("op", ":")
+            item.body = self.parse_statement()
+            case.items.append(item)
+        self.expect("keyword", "endcase")
+        return case
+
+    def parse_for(self, token: Token) -> ast.For:
+        self.expect("op", "(")
+        var = self.expect("ident").value
+        self.expect("op", "=")
+        init = self.parse_expression()
+        self.expect("op", ";")
+        cond = self.parse_expression()
+        self.expect("op", ";")
+        update_var = self.expect("ident").value
+        self.expect("op", "=")
+        update = self.parse_expression()
+        self.expect("op", ")")
+        body = self.parse_statement()
+        return ast.For(
+            line=token.line, var=var, init=init, cond=cond,
+            update_var=update_var, update=update, body=body,
+        )
+
+    def parse_assignment_statement(self) -> ast.Stmt:
+        token = self.peek()
+        target = self.parse_lvalue()
+        if self.accept("op", "<="):
+            blocking = False
+        elif self.accept("op", "="):
+            blocking = True
+        else:
+            raise self.error("expected '=' or '<=' in assignment")
+        value = self.parse_expression()
+        self.expect("op", ";")
+        return ast.Assignment(
+            line=token.line, target=target, value=value, blocking=blocking
+        )
+
+    # -- lvalues --------------------------------------------------------------
+    def parse_lvalue(self) -> ast.Expr:
+        token = self.peek()
+        if self.accept("op", "{"):
+            parts = [self.parse_lvalue()]
+            while self.accept("op", ","):
+                parts.append(self.parse_lvalue())
+            self.expect("op", "}")
+            return ast.Concat(line=token.line, parts=parts)
+        name = self.expect("ident").value
+        if self.accept("op", "["):
+            first = self.parse_expression()
+            if self.accept("op", ":"):
+                second = self.parse_expression()
+                self.expect("op", "]")
+                return ast.PartSelect(line=token.line, base=name, msb=first, lsb=second)
+            self.expect("op", "]")
+            return ast.Index(line=token.line, base=name, index=first)
+        return ast.Ident(line=token.line, name=name)
+
+    # -- expressions -------------------------------------------------------------
+    def parse_expression(self) -> ast.Expr:
+        return self.parse_ternary()
+
+    def parse_ternary(self) -> ast.Expr:
+        cond = self.parse_binary(1)
+        if self.accept("op", "?"):
+            if_true = self.parse_expression()
+            self.expect("op", ":")
+            if_false = self.parse_expression()
+            return ast.Ternary(
+                line=cond.line, cond=cond, if_true=if_true, if_false=if_false
+            )
+        return cond
+
+    def parse_binary(self, min_precedence: int) -> ast.Expr:
+        left = self.parse_unary()
+        while True:
+            token = self.peek()
+            if token.kind != "op":
+                break
+            precedence = _PRECEDENCE.get(token.value, 0)
+            if precedence < min_precedence:
+                break
+            op = self.advance().value
+            right = self.parse_binary(precedence + 1)
+            left = ast.Binary(line=token.line, op=op, left=left, right=right)
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "op" and token.value in _UNARY_OPS:
+            op = self.advance().value
+            operand = self.parse_unary()
+            if op == "+":
+                return operand
+            return ast.Unary(line=token.line, op=op, operand=operand)
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            value, width = token.value
+            return ast.Number(line=token.line, value=value, width=width)
+        if self.accept("op", "("):
+            expr = self.parse_expression()
+            self.expect("op", ")")
+            return expr
+        if self.accept("op", "{"):
+            first = self.parse_expression()
+            if self.accept("op", "{"):
+                # Replication {count{value}}.
+                value = self.parse_expression()
+                self.expect("op", "}")
+                self.expect("op", "}")
+                return ast.Repeat(line=token.line, count=first, value=value)
+            parts = [first]
+            while self.accept("op", ","):
+                parts.append(self.parse_expression())
+            self.expect("op", "}")
+            return ast.Concat(line=token.line, parts=parts)
+        if token.kind == "ident":
+            self.advance()
+            name = token.value
+            if self.accept("op", "("):
+                arguments = [self.parse_expression()]
+                while self.accept("op", ","):
+                    arguments.append(self.parse_expression())
+                self.expect("op", ")")
+                return ast.FunctionCall(
+                    line=token.line, name=name, arguments=arguments
+                )
+            if self.accept("op", "["):
+                first = self.parse_expression()
+                if self.accept("op", ":"):
+                    second = self.parse_expression()
+                    self.expect("op", "]")
+                    return ast.PartSelect(
+                        line=token.line, base=name, msb=first, lsb=second
+                    )
+                self.expect("op", "]")
+                return ast.Index(line=token.line, base=name, index=first)
+            return ast.Ident(line=token.line, name=name)
+        raise self.error(f"unexpected token {token.value!r} in expression")
+
+
+def parse(source: str) -> ast.SourceFile:
+    """Parse Verilog source text into an AST."""
+    return _Parser(tokenize(source)).parse_source()

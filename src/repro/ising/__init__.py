@@ -1,0 +1,34 @@
+"""Ising-model core: the paper's mathematical substrate.
+
+A quantum annealer minimizes a quadratic pseudo-Boolean function
+(Equation (2) of the paper):
+
+    H(sigma) = sum_i h_i sigma_i + sum_{i<j} J_ij sigma_i sigma_j
+
+with each sigma_i a "physics Boolean" in {-1, +1}.  This package holds
+the :class:`~repro.ising.model.IsingModel` representation of such
+functions, the penalty-model synthesizer that derives gate Hamiltonians
+from truth tables (Section 4.3.2, Tables 2-4), the verified standard-cell
+library (Table 5), and the roof-duality presolver used by qmasm to elide
+qubits (Section 4.4).
+"""
+
+from repro.ising.model import IsingModel, SPIN_FALSE, SPIN_TRUE, bool_to_spin, spin_to_bool
+from repro.ising.penalty import PenaltySynthesisError, synthesize_penalty, PenaltyModel
+from repro.ising.cells import CELL_LIBRARY, CellSpec, cell_hamiltonian
+from repro.ising.roofduality import fix_variables
+
+__all__ = [
+    "IsingModel",
+    "SPIN_FALSE",
+    "SPIN_TRUE",
+    "bool_to_spin",
+    "spin_to_bool",
+    "PenaltyModel",
+    "PenaltySynthesisError",
+    "synthesize_penalty",
+    "CELL_LIBRARY",
+    "CellSpec",
+    "cell_hamiltonian",
+    "fix_variables",
+]

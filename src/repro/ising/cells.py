@@ -1,0 +1,396 @@
+"""The paper's Table 5: a standard-cell library as gate Hamiltonians.
+
+Each entry maps a logic cell (the default ABC cell set the paper
+targets) to a quadratic pseudo-Boolean function that is minimized
+exactly on the valid rows of the cell's truth table.  The coefficient
+choices are those printed in the paper, which were selected to honor the
+hardware coefficient ranges while maximizing the energy gap between
+valid and invalid rows.
+
+Cells with 2-input XOR-like structure (XOR, XNOR, MUX, AOI*, OAI*) need
+one or two ancilla variables, named ``$anc1``/``$anc2`` here; the ``$``
+prefix marks them "uninteresting" in QMASM's output convention.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from repro.ising.model import SPIN_FALSE, SPIN_TRUE, IsingModel
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One standard cell: its logic and its Hamiltonian.
+
+    Attributes:
+        name: cell name as it appears in netlists (e.g. ``"AND"``).
+        inputs: ordered input port names.
+        output: output port name (``"Y"``, or ``"Q"`` for flip-flops).
+        function: the Boolean function, taking input values in port order.
+        linear / quadratic: the Hamiltonian coefficients over port and
+            ancilla names.
+        ancillas: ancilla variable names used by the Hamiltonian.
+        is_sequential: True for flip-flops (handled by time unrolling,
+            Section 4.3.3).
+    """
+
+    name: str
+    inputs: Tuple[str, ...]
+    output: str
+    function: Callable[..., bool]
+    linear: Mapping[str, float]
+    quadratic: Mapping[Tuple[str, str], float]
+    ancillas: Tuple[str, ...] = ()
+    is_sequential: bool = False
+
+    @property
+    def ports(self) -> Tuple[str, ...]:
+        return (self.output,) + self.inputs
+
+    def hamiltonian(self) -> IsingModel:
+        """The cell's Hamiltonian over its own port/ancilla names."""
+        model = IsingModel()
+        for port in self.ports + self.ancillas:
+            model.add_variable(port, 0.0)
+        for var, bias in self.linear.items():
+            model.add_variable(var, bias)
+        for (u, v), coupling in self.quadratic.items():
+            model.add_interaction(u, v, coupling)
+        return model
+
+    def valid_rows(self) -> List[Tuple[int, ...]]:
+        """Truth-table rows ``(output, *inputs)`` as spins."""
+        rows = []
+        for bits in itertools.product((False, True), repeat=len(self.inputs)):
+            out = bool(self.function(*bits))
+            rows.append(
+                tuple(
+                    SPIN_TRUE if b else SPIN_FALSE for b in (out,) + bits
+                )
+            )
+        return rows
+
+    def verify(self, tol: float = 1e-9) -> bool:
+        """Exhaustively check ground states == valid truth-table rows."""
+        model = self.hamiltonian()
+        _, states = model.ground_states(tol=tol)
+        ports = self.ports
+        observed = {tuple(s[p] for p in ports) for s in states}
+        return observed == set(self.valid_rows())
+
+
+def _mux(s: bool, a: bool, b: bool) -> bool:
+    """Table 5's 2:1 MUX: Y = (S AND B) OR (NOT S AND A)."""
+    return b if s else a
+
+
+THIRD = 1.0 / 3.0
+TWELFTH = 1.0 / 12.0
+
+#: Table 5, transcribed.  Quadratic keys are (row-variable, col-variable)
+#: exactly as printed; IsingModel canonicalizes the pair order.
+CELL_LIBRARY: Dict[str, CellSpec] = {}
+
+
+def _register(spec: CellSpec) -> None:
+    CELL_LIBRARY[spec.name] = spec
+
+
+_register(
+    CellSpec(
+        name="NOT",
+        inputs=("A",),
+        output="Y",
+        function=lambda a: not a,
+        linear={},
+        quadratic={("A", "Y"): 1.0},
+    )
+)
+
+_register(
+    CellSpec(
+        name="AND",
+        inputs=("A", "B"),
+        output="Y",
+        function=lambda a, b: a and b,
+        linear={"A": -0.5, "B": -0.5, "Y": 1.0},
+        quadratic={("A", "B"): 0.5, ("A", "Y"): -1.0, ("B", "Y"): -1.0},
+    )
+)
+
+_register(
+    CellSpec(
+        name="OR",
+        inputs=("A", "B"),
+        output="Y",
+        function=lambda a, b: a or b,
+        linear={"A": 0.5, "B": 0.5, "Y": -1.0},
+        quadratic={("A", "B"): 0.5, ("A", "Y"): -1.0, ("B", "Y"): -1.0},
+    )
+)
+
+_register(
+    CellSpec(
+        name="NAND",
+        inputs=("A", "B"),
+        output="Y",
+        function=lambda a, b: not (a and b),
+        linear={"A": -0.5, "B": -0.5, "Y": -1.0},
+        quadratic={("A", "B"): 0.5, ("A", "Y"): 1.0, ("B", "Y"): 1.0},
+    )
+)
+
+_register(
+    CellSpec(
+        name="NOR",
+        inputs=("A", "B"),
+        output="Y",
+        function=lambda a, b: not (a or b),
+        linear={"A": 0.5, "B": 0.5, "Y": 1.0},
+        quadratic={("A", "B"): 0.5, ("A", "Y"): 1.0, ("B", "Y"): 1.0},
+    )
+)
+
+_register(
+    CellSpec(
+        name="XOR",
+        inputs=("A", "B"),
+        output="Y",
+        function=lambda a, b: a != b,
+        linear={"A": 0.5, "B": -0.5, "Y": -0.5, "$anc1": 1.0},
+        quadratic={
+            ("A", "B"): -0.5,
+            ("A", "Y"): -0.5,
+            ("A", "$anc1"): 1.0,
+            ("B", "Y"): 0.5,
+            ("B", "$anc1"): -1.0,
+            ("Y", "$anc1"): -1.0,
+        },
+        ancillas=("$anc1",),
+    )
+)
+
+_register(
+    CellSpec(
+        name="XNOR",
+        inputs=("A", "B"),
+        output="Y",
+        function=lambda a, b: a == b,
+        linear={"A": 0.5, "B": -0.5, "Y": 0.5, "$anc1": 1.0},
+        quadratic={
+            ("A", "B"): -0.5,
+            ("A", "Y"): 0.5,
+            ("A", "$anc1"): 1.0,
+            ("B", "Y"): -0.5,
+            ("B", "$anc1"): -1.0,
+            ("Y", "$anc1"): 1.0,
+        },
+        ancillas=("$anc1",),
+    )
+)
+
+_register(
+    CellSpec(
+        name="MUX",
+        inputs=("S", "A", "B"),
+        output="Y",
+        function=_mux,
+        linear={"S": 0.5, "A": 0.25, "B": -0.25, "Y": 0.5, "$anc1": 1.0},
+        quadratic={
+            ("S", "A"): 0.25,
+            ("S", "B"): -0.25,
+            ("S", "Y"): 0.5,
+            ("S", "$anc1"): 1.0,
+            ("A", "B"): 0.5,
+            ("A", "Y"): -0.5,
+            ("A", "$anc1"): 0.5,
+            ("B", "Y"): -1.0,
+            ("B", "$anc1"): -0.5,
+            ("Y", "$anc1"): 1.0,
+        },
+        ancillas=("$anc1",),
+    )
+)
+
+_register(
+    CellSpec(
+        name="AOI3",
+        inputs=("A", "B", "C"),
+        output="Y",
+        function=lambda a, b, c: not ((a and b) or c),
+        linear={"B": -THIRD, "C": THIRD, "Y": 2 * THIRD, "$anc1": -2 * THIRD},
+        quadratic={
+            ("A", "B"): THIRD,
+            ("A", "C"): THIRD,
+            ("A", "Y"): THIRD,
+            ("A", "$anc1"): THIRD,
+            ("B", "Y"): -THIRD,
+            ("B", "$anc1"): 1.0,
+            ("C", "Y"): 1.0,
+            ("C", "$anc1"): -THIRD,
+            ("Y", "$anc1"): -1.0,
+        },
+        ancillas=("$anc1",),
+    )
+)
+
+_register(
+    CellSpec(
+        name="OAI3",
+        inputs=("A", "B", "C"),
+        output="Y",
+        function=lambda a, b, c: not ((a or b) and c),
+        linear={"A": -0.25, "C": -0.75, "Y": -0.5, "$anc1": -0.5},
+        quadratic={
+            ("A", "C"): 0.75,
+            ("A", "Y"): 0.5,
+            ("A", "$anc1"): 0.5,
+            ("B", "Y"): 0.25,
+            ("B", "$anc1"): -0.25,
+            ("C", "Y"): 1.0,
+            ("C", "$anc1"): 1.0,
+            ("Y", "$anc1"): 0.25,
+        },
+        ancillas=("$anc1",),
+    )
+)
+
+_register(
+    CellSpec(
+        name="AOI4",
+        inputs=("A", "B", "C", "D"),
+        output="Y",
+        function=lambda a, b, c, d: not ((a and b) or (c and d)),
+        linear={
+            "A": -2 * TWELFTH,
+            "B": -2 * TWELFTH,
+            "C": -5 * TWELFTH,
+            "D": 3 * TWELFTH,
+            "Y": -5 * TWELFTH,
+            "$anc1": -7 * TWELFTH,
+            "$anc2": 2 * TWELFTH,
+        },
+        quadratic={
+            ("A", "B"): 2 * TWELFTH,
+            ("A", "C"): 4 * TWELFTH,
+            ("A", "D"): -TWELFTH,
+            ("A", "Y"): 6 * TWELFTH,
+            ("A", "$anc1"): 4 * TWELFTH,
+            ("A", "$anc2"): -3 * TWELFTH,
+            ("B", "C"): 4 * TWELFTH,
+            ("B", "D"): -TWELFTH,
+            ("B", "Y"): 6 * TWELFTH,
+            ("B", "$anc1"): 4 * TWELFTH,
+            ("B", "$anc2"): -3 * TWELFTH,
+            ("C", "D"): -4 * TWELFTH,
+            ("C", "Y"): 11 * TWELFTH,
+            ("C", "$anc1"): 11 * TWELFTH,
+            ("C", "$anc2"): -5 * TWELFTH,
+            ("D", "Y"): -4 * TWELFTH,
+            ("D", "$anc1"): -7 * TWELFTH,
+            ("D", "$anc2"): 4 * TWELFTH,
+            ("Y", "$anc1"): 1.0,
+            ("Y", "$anc2"): -8 * TWELFTH,
+            ("$anc1", "$anc2"): -7 * TWELFTH,
+        },
+        ancillas=("$anc1", "$anc2"),
+    )
+)
+
+_register(
+    CellSpec(
+        name="OAI4",
+        inputs=("A", "B", "C", "D"),
+        output="Y",
+        function=lambda a, b, c, d: not ((a or b) and (c or d)),
+        linear={
+            "A": 2 * THIRD,
+            "B": -THIRD,
+            "C": -THIRD,
+            "D": -THIRD,
+            "Y": -THIRD,
+            "$anc1": -1.0,
+            "$anc2": -1.0,
+        },
+        quadratic={
+            ("A", "B"): -THIRD,
+            ("A", "Y"): THIRD,
+            ("A", "$anc1"): -THIRD,
+            ("A", "$anc2"): -1.0,
+            ("B", "$anc2"): 2 * THIRD,
+            ("C", "D"): THIRD,
+            ("C", "Y"): 2 * THIRD,
+            ("C", "$anc1"): 2 * THIRD,
+            ("D", "Y"): 2 * THIRD,
+            ("D", "$anc1"): 2 * THIRD,
+            ("Y", "$anc1"): 1.0,
+            ("Y", "$anc2"): -THIRD,
+            ("$anc1", "$anc2"): THIRD,
+        },
+        ancillas=("$anc1", "$anc2"),
+    )
+)
+
+_register(
+    CellSpec(
+        name="DFF_P",
+        inputs=("D",),
+        output="Q",
+        function=lambda d: d,
+        linear={},
+        quadratic={("D", "Q"): -1.0},
+        is_sequential=True,
+    )
+)
+
+_register(
+    CellSpec(
+        name="DFF_N",
+        inputs=("D",),
+        output="Q",
+        function=lambda d: d,
+        linear={},
+        quadratic={("D", "Q"): -1.0},
+        is_sequential=True,
+    )
+)
+
+
+#: The chain coupling used for nets (Section 4.3.1, Table 1): H = -s_A s_Y.
+CHAIN_COUPLING = -1.0
+
+#: Pin strengths (Section 4.3.4): ground H = +s, power H = -s.
+GND_BIAS = 1.0
+VCC_BIAS = -1.0
+
+
+def cell_hamiltonian(name: str, prefix: str = "") -> IsingModel:
+    """Instantiate a cell's Hamiltonian with instance-scoped variables.
+
+    ``cell_hamiltonian("AND", "u3.")`` returns the AND Hamiltonian over
+    ``u3.Y``, ``u3.A``, ``u3.B`` -- the naming scheme QMASM's
+    ``!use_macro`` produces.
+    """
+    spec = CELL_LIBRARY[name]
+    base = spec.hamiltonian()
+    if not prefix:
+        return base
+    return base.relabel({v: f"{prefix}{v}" for v in base.variables})
+
+
+def wire_hamiltonian(a: str, b: str, strength: float = -CHAIN_COUPLING) -> IsingModel:
+    """A net between two endpoints: minimized exactly when a == b (Table 1)."""
+    model = IsingModel()
+    model.add_interaction(a, b, -abs(strength))
+    return model
+
+
+def pin_hamiltonian(variable: str, value: bool, strength: float = 1.0) -> IsingModel:
+    """Pin ``variable`` to a Boolean via H_VCC / H_GND (Section 4.3.4)."""
+    model = IsingModel()
+    bias = (VCC_BIAS if value else GND_BIAS) * abs(strength)
+    model.add_variable(variable, bias)
+    return model

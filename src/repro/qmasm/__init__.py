@@ -1,0 +1,62 @@
+"""QMASM: the quantum macro assembler (Section 4.3).
+
+QMASM sits between netlists and the raw Hamiltonian: "just as it is more
+convenient to express an x86 addition instruction symbolically ... QMASM
+lets programmers write functions symbolically".  This package implements
+the language features the paper relies on:
+
+- symbolic variable names with weight (``A -1``) and coupler
+  (``A B -5``) statements,
+- shortcut syntax biasing two variables equal (``A = B``) or opposite
+  (``A /= B``),
+- pins (``A := true``, ``C[7:0] := 10001111``) for passing arguments
+  (Section 4.3.6),
+- macros (``!begin_macro`` / ``!end_macro`` / ``!use_macro``) and
+  ``!include`` for the standard-cell library,
+- ``!assert`` for debugging, checked against every returned sample,
+- and the qmasm tool behaviour: assemble, optionally elide qubits via
+  roof duality, minor-embed, scale, run many anneals, and report
+  statistics over symbolic names with ``$``-variables hidden.
+"""
+
+from repro.qmasm.program import (
+    QmasmError,
+    Statement,
+    Weight,
+    Coupler,
+    Chain,
+    Pin,
+    Alias,
+    Assertion,
+    MacroDef,
+    UseMacro,
+    Include,
+    Program,
+)
+from repro.qmasm.parser import parse_qmasm, parse_pin
+from repro.qmasm.assembler import assemble, LogicalProgram
+from repro.qmasm.stdcell import stdcell_source, STDCELL_NAME
+from repro.qmasm.runner import QmasmRunner, RunResult
+
+__all__ = [
+    "QmasmError",
+    "Statement",
+    "Weight",
+    "Coupler",
+    "Chain",
+    "Pin",
+    "Alias",
+    "Assertion",
+    "MacroDef",
+    "UseMacro",
+    "Include",
+    "Program",
+    "parse_qmasm",
+    "parse_pin",
+    "assemble",
+    "LogicalProgram",
+    "stdcell_source",
+    "STDCELL_NAME",
+    "QmasmRunner",
+    "RunResult",
+]

@@ -1,0 +1,326 @@
+"""QMASM assembly: macro expansion down to a logical Ising model.
+
+``assemble`` flattens a parsed :class:`Program` -- expanding
+``!use_macro`` instantiations with dotted instance prefixes
+(``my_and.A``), applying ``!alias``, and collecting weights, couplers,
+chains, pins, and assertions -- into a :class:`LogicalProgram`.
+
+``LogicalProgram.to_ising`` then produces the logical quadratic
+pseudo-Boolean function: explicit ``A = B`` chains are contracted into a
+single variable (the qmasm optimization of Section 4.4), ``A /= B``
+anti-chains become positive couplers, and pins become strong H_VCC /
+H_GND biases (Section 4.3.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.ising.model import IsingModel, bool_to_spin, spin_to_bool
+from repro.qmasm.program import (
+    Alias,
+    AssertExpr,
+    Assertion,
+    Chain,
+    Coupler,
+    Include,
+    MacroDef,
+    Pin,
+    Program,
+    QmasmError,
+    UseMacro,
+    Weight,
+    prefix_assert,
+    rename_assert,
+)
+
+
+@dataclass
+class _Flattened:
+    weights: List[Tuple[str, float]] = field(default_factory=list)
+    couplers: List[Tuple[str, str, float]] = field(default_factory=list)
+    chains: List[Tuple[str, str, bool]] = field(default_factory=list)
+    pins: Dict[str, bool] = field(default_factory=dict)
+    assertions: List[Tuple[AssertExpr, str]] = field(default_factory=list)
+    aliases: Dict[str, str] = field(default_factory=dict)
+
+
+def _expand(
+    statements,
+    macros: Mapping[str, MacroDef],
+    prefix: str,
+    out: _Flattened,
+    depth: int = 0,
+) -> None:
+    if depth > 32:
+        raise QmasmError("macro expansion too deep (recursive macro?)")
+    for statement in statements:
+        if isinstance(statement, Weight):
+            out.weights.append((prefix + statement.variable, statement.value))
+        elif isinstance(statement, Coupler):
+            out.couplers.append(
+                (prefix + statement.variable_a, prefix + statement.variable_b,
+                 statement.value)
+            )
+        elif isinstance(statement, Chain):
+            out.chains.append(
+                (prefix + statement.variable_a, prefix + statement.variable_b,
+                 statement.same)
+            )
+        elif isinstance(statement, Pin):
+            for variable, value in statement.assignments.items():
+                out.pins[prefix + variable] = value
+        elif isinstance(statement, Assertion):
+            expression = (
+                prefix_assert(statement.expression, prefix) if prefix
+                else statement.expression
+            )
+            out.assertions.append((expression, statement.source))
+        elif isinstance(statement, Alias):
+            out.aliases[prefix + statement.new] = prefix + statement.old
+        elif isinstance(statement, UseMacro):
+            macro = macros.get(statement.macro)
+            if macro is None:
+                raise QmasmError(
+                    f"!use_macro of undefined macro {statement.macro!r}",
+                    statement.line,
+                )
+            for instance in statement.instances:
+                _expand(
+                    macro.body, macros, f"{prefix}{instance}.", out, depth + 1
+                )
+        elif isinstance(statement, Include):
+            pass  # contents were inlined at parse time
+        else:
+            raise QmasmError(f"unexpected statement {statement!r}")
+
+
+class _UnionFind:
+    def __init__(self):
+        self._parent: Dict[str, str] = {}
+
+    def find(self, item: str) -> str:
+        root = item
+        while root in self._parent:
+            root = self._parent[root]
+        while item in self._parent:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, keep: str, merge: str) -> None:
+        keep_root, merge_root = self.find(keep), self.find(merge)
+        if keep_root != merge_root:
+            self._parent[merge_root] = keep_root
+
+
+def _preference(name: str) -> Tuple:
+    """Chain-contraction representative choice: visible, shallow names win."""
+    return ("$" in name, name.count("."), len(name), name)
+
+
+@dataclass
+class LogicalProgram:
+    """An assembled QMASM program, pre-embedding.
+
+    Attributes:
+        model: the raw Ising model from weights and couplers (chains and
+            pins not yet applied).
+        chains: ``(a, b, same)`` equality/inequality biases.
+        pins: variable -> Boolean argument bindings.
+        assertions: ``(expression, source_text)`` debug checks.
+        variables: every variable name mentioned anywhere.
+    """
+
+    model: IsingModel
+    chains: List[Tuple[str, str, bool]]
+    pins: Dict[str, bool]
+    assertions: List[Tuple[AssertExpr, str]]
+    variables: Set[str]
+
+    def with_pins(self, pins: Mapping[str, bool]) -> "LogicalProgram":
+        """A copy with extra pins added (the original is untouched, so
+        one compiled program can be run many times with different
+        arguments -- forward, backward, or partially pinned)."""
+        merged = dict(self.pins)
+        merged.update(pins)
+        return LogicalProgram(
+            model=self.model,
+            chains=self.chains,
+            pins=merged,
+            assertions=self.assertions,
+            variables=self.variables,
+        )
+
+    # -- derived properties -------------------------------------------------
+    def visible_variables(self) -> List[str]:
+        """Variables reported to the user ('$' marks internal ones)."""
+        return sorted(v for v in self.variables if "$" not in v)
+
+    def literal_max_coupler(self) -> float:
+        """Largest |J| appearing literally (sets the default chain strength)."""
+        return max(
+            (abs(c) for c in self.model.quadratic.values()), default=1.0
+        )
+
+    def default_chain_strength(self) -> float:
+        """QMASM's default: twice the largest-in-magnitude literal J."""
+        return 2.0 * self.literal_max_coupler()
+
+    # -- lowering ------------------------------------------------------------
+    def to_ising(
+        self,
+        contract_chains: bool = True,
+        chain_strength: Optional[float] = None,
+        pin_strength: Optional[float] = None,
+        apply_pins: bool = True,
+    ) -> Tuple[IsingModel, Dict[str, str]]:
+        """Lower to a logical Ising model.
+
+        Args:
+            contract_chains: merge ``A = B`` chains into one variable
+                (the paper's explicit-chain optimization); if False they
+                become ferromagnetic couplers instead.
+            chain_strength: coupling magnitude for non-contracted chains
+                and anti-chains; defaults to twice the largest literal J.
+            pin_strength: bias magnitude for pins; defaults to the chain
+                strength.
+            apply_pins: include pin biases (disable to get the bare
+                program relation).
+
+        Returns:
+            ``(model, representative_map)`` where ``representative_map``
+            maps every original variable to the variable that now stands
+            for it in the model.
+        """
+        if chain_strength is None:
+            chain_strength = self.default_chain_strength()
+        if pin_strength is None:
+            pin_strength = chain_strength
+
+        union = _UnionFind()
+        if contract_chains:
+            for a, b, same in self.chains:
+                if same:
+                    union.union(a, b)
+        # Choose preferred representatives deterministically.
+        groups: Dict[str, List[str]] = {}
+        for variable in self.variables:
+            groups.setdefault(union.find(variable), []).append(variable)
+        representative: Dict[str, str] = {}
+        for members in groups.values():
+            best = min(members, key=_preference)
+            for member in members:
+                representative[member] = best
+
+        model = self.model.relabel(representative)
+        for variable in self.variables:
+            model.add_variable(representative[variable], 0.0)
+
+        for a, b, same in self.chains:
+            rep_a, rep_b = representative[a], representative[b]
+            if same:
+                if rep_a != rep_b:  # contract_chains False
+                    model.add_interaction(rep_a, rep_b, -abs(chain_strength))
+            else:
+                if rep_a == rep_b:
+                    raise QmasmError(
+                        f"variables {a!r} and {b!r} are chained both equal "
+                        "and opposite"
+                    )
+                model.add_interaction(rep_a, rep_b, abs(chain_strength))
+
+        if apply_pins:
+            for variable, value in self.pins.items():
+                rep = representative.get(variable)
+                if rep is None:
+                    raise QmasmError(f"pin of unknown variable {variable!r}")
+                bias = -abs(pin_strength) if value else abs(pin_strength)
+                model.add_variable(rep, bias)
+        return model, representative
+
+    # -- sample handling ---------------------------------------------------
+    def expand_sample(
+        self, sample: Mapping[str, int], representative: Mapping[str, str]
+    ) -> Dict[str, int]:
+        """Spread representative spins back over all original variables."""
+        return {
+            variable: sample[rep]
+            for variable, rep in representative.items()
+            if rep in sample
+        }
+
+    def check_assertions(self, sample: Mapping[str, int]) -> List[str]:
+        """Return the source text of every failed ``!assert``."""
+        values = {v: spin_to_bool(s) for v, s in sample.items()}
+        failures = []
+        for expression, source in self.assertions:
+            try:
+                passed = bool(expression.evaluate(values))
+            except QmasmError:
+                passed = False  # references a variable that was optimized out
+            if not passed:
+                failures.append(source)
+        return failures
+
+    def pins_satisfied(self, sample: Mapping[str, int]) -> bool:
+        return all(
+            variable not in sample
+            or sample[variable] == bool_to_spin(value)
+            for variable, value in self.pins.items()
+        )
+
+
+def assemble(program: Program) -> LogicalProgram:
+    """Flatten a parsed QMASM program into a :class:`LogicalProgram`."""
+    flat = _Flattened()
+    _expand(program.statements, program.macros, "", flat)
+
+    # Apply aliases (new name -> existing variable).
+    def resolve_alias(name: str) -> str:
+        seen = set()
+        while name in flat.aliases:
+            if name in seen:
+                raise QmasmError(f"alias cycle through {name!r}")
+            seen.add(name)
+            name = flat.aliases[name]
+        return name
+
+    model = IsingModel()
+    variables: Set[str] = set()
+    for variable, value in flat.weights:
+        variable = resolve_alias(variable)
+        model.add_variable(variable, value)
+        variables.add(variable)
+    for a, b, value in flat.couplers:
+        a, b = resolve_alias(a), resolve_alias(b)
+        if a == b:
+            raise QmasmError(f"self-coupler on {a!r}")
+        model.add_interaction(a, b, value)
+        variables.update((a, b))
+    chains = []
+    for a, b, same in flat.chains:
+        a, b = resolve_alias(a), resolve_alias(b)
+        chains.append((a, b, same))
+        variables.update((a, b))
+    pins = {resolve_alias(v): value for v, value in flat.pins.items()}
+    variables.update(pins)
+    alias_map = {
+        name: resolve_alias(name)
+        for expression, _src in flat.assertions
+        for name in expression.variables()
+    }
+    assertions = [
+        (rename_assert(expression, alias_map), source)
+        for expression, source in flat.assertions
+    ]
+    for expression, _source in assertions:
+        variables.update(expression.variables())
+
+    return LogicalProgram(
+        model=model,
+        chains=chains,
+        pins=pins,
+        assertions=assertions,
+        variables=variables,
+    )

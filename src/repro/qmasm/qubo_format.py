@@ -1,0 +1,123 @@
+"""The qbsolv ``.qubo`` file format.
+
+qbsolv -- the tool qmasm uses to "split large problems into sub-problems
+that fit on the D-Wave hardware" -- consumes a simple text format::
+
+    c comment lines
+    p qubo topology maxNodes nNodes nCouplers
+    0 0 3.4        <- nNodes diagonal entries  (node  node  weight)
+    0 5 -2.0       <- nCouplers off-diagonal entries (i < j)
+
+This module writes and reads that format, mapping between our
+arbitrarily-labeled Ising models and qbsolv's dense integer node ids.
+The variable-name mapping is preserved in comment lines so round-trips
+recover symbolic names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ising.model import IsingModel
+
+
+class QuboFormatError(Exception):
+    """Malformed .qubo input."""
+
+
+def write_qubo_file(
+    model: IsingModel,
+    comments: Optional[List[str]] = None,
+    topology: str = "0",
+) -> str:
+    """Serialize an Ising model as a qbsolv ``.qubo`` document.
+
+    The model is converted to QUBO form (x in {0,1}); each variable gets
+    a dense integer id, recorded in ``c var`` comments.
+    """
+    qubo, offset = model.to_qubo()
+    order = sorted(map(str, model.variables))
+    index = {name: i for i, name in enumerate(order)}
+
+    diagonal: Dict[int, float] = {}
+    couplers: Dict[Tuple[int, int], float] = {}
+    for (u, v), coeff in qubo.items():
+        if coeff == 0.0:
+            continue
+        if u == v:
+            diagonal[index[str(u)]] = diagonal.get(index[str(u)], 0.0) + coeff
+        else:
+            i, j = sorted((index[str(u)], index[str(v)]))
+            couplers[(i, j)] = couplers.get((i, j), 0.0) + coeff
+
+    lines: List[str] = []
+    for comment in comments or []:
+        lines.append(f"c {comment}")
+    lines.append(f"c offset {offset!r}")
+    for name in order:
+        lines.append(f"c var {index[name]} {name}")
+    lines.append(
+        f"p qubo {topology} {len(order)} {len(diagonal)} {len(couplers)}"
+    )
+    for i in sorted(diagonal):
+        lines.append(f"{i} {i} {diagonal[i]!r}")
+    for (i, j) in sorted(couplers):
+        lines.append(f"{i} {j} {couplers[(i, j)]!r}")
+    return "\n".join(lines) + "\n"
+
+
+def read_qubo_file(text: str) -> IsingModel:
+    """Parse a ``.qubo`` document back into an Ising model.
+
+    ``c var`` and ``c offset`` comments written by :func:`write_qubo_file`
+    are honored; without them, variables are the bare integer ids.
+    """
+    names: Dict[int, str] = {}
+    offset = 0.0
+    qubo: Dict[Tuple, float] = {}
+    header: Optional[Tuple[int, int, int]] = None
+    entries = 0
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        tokens = line.split()
+        if tokens[0] == "c":
+            if len(tokens) >= 4 and tokens[1] == "var":
+                names[int(tokens[2])] = " ".join(tokens[3:])
+            elif len(tokens) >= 3 and tokens[1] == "offset":
+                offset = float(tokens[2])
+            continue
+        if tokens[0] == "p":
+            if header is not None:
+                raise QuboFormatError(f"duplicate p line (line {line_number})")
+            if len(tokens) != 6 or tokens[1] != "qubo":
+                raise QuboFormatError(f"malformed p line (line {line_number})")
+            header = (int(tokens[3]), int(tokens[4]), int(tokens[5]))
+            continue
+        if header is None:
+            raise QuboFormatError(
+                f"entry before p line (line {line_number})"
+            )
+        if len(tokens) != 3:
+            raise QuboFormatError(f"malformed entry (line {line_number})")
+        i, j, weight = int(tokens[0]), int(tokens[1]), float(tokens[2])
+        if i > j:
+            raise QuboFormatError(
+                f"entries must have i <= j (line {line_number})"
+            )
+        key = (names.get(i, i), names.get(j, j))
+        if key[0] == key[1]:
+            key = (key[0], key[0])
+        qubo[key] = qubo.get(key, 0.0) + weight
+        entries += 1
+
+    if header is None:
+        raise QuboFormatError("missing p line")
+    _, n_diagonal, n_couplers = header
+    if entries != n_diagonal + n_couplers:
+        raise QuboFormatError(
+            f"p line promises {n_diagonal + n_couplers} entries, found {entries}"
+        )
+    return IsingModel.from_qubo(qubo, offset)

@@ -1,0 +1,341 @@
+"""The qmasm tool: assemble, embed, anneal, and report (Section 4.4).
+
+Reproduces the tool behaviour the paper describes: qmasm can execute
+programs on a D-Wave system (here the :class:`DWaveSimulator`) or
+convert/run them classically; it accepts ``--pin`` options to bias
+variables; it "can run a program arbitrarily many times and report
+statistics on the results"; it reports solutions "in terms of the
+program-specified symbolic names rather than as physical qubit numbers"
+with ``$``-variables hidden; and it optionally uses roof duality "to
+elide qubits whose final value can be determined a priori".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.hardware.embedding import (
+    Embedding,
+    embed_ising,
+    find_embedding,
+    source_graph_of,
+    unembed_sampleset,
+)
+from repro.hardware.scaling import scale_to_hardware
+from repro.ising.model import IsingModel, bool_to_spin, spin_to_bool
+from repro.ising.roofduality import fix_variables
+from repro.qmasm.assembler import LogicalProgram, assemble
+from repro.qmasm.parser import parse_pin, parse_qmasm
+from repro.qmasm.program import Pin, Program, QmasmError
+from repro.solvers.exact import ExactSolver
+from repro.solvers.machine import DWaveSimulator
+from repro.solvers.neal import SimulatedAnnealingSampler
+from repro.solvers.qbsolv import QBSolv
+from repro.solvers.sampleset import SampleSet
+from repro.solvers.tabu import TabuSampler
+
+
+@dataclass
+class Solution:
+    """One distinct solution, reported over visible symbolic names."""
+
+    values: Dict[str, bool]
+    energy: float
+    num_occurrences: int
+    failed_assertions: List[str] = field(default_factory=list)
+    pins_respected: bool = True
+
+    @property
+    def valid(self) -> bool:
+        return self.pins_respected and not self.failed_assertions
+
+    def value_of(self, base: str) -> int:
+        """Assemble the integer value of a multi-bit variable.
+
+        ``value_of("C")`` gathers ``C[0]``, ``C[1]``, ... (or the scalar
+        ``C``) into an integer.
+        """
+        if base in self.values:
+            return int(self.values[base])
+        total = 0
+        found = False
+        for name, value in self.values.items():
+            if name.startswith(f"{base}["):
+                index = int(name[len(base) + 1:-1])
+                total |= int(value) << index
+                found = True
+        if not found:
+            raise KeyError(f"no variable {base!r} in solution")
+        return total
+
+
+@dataclass
+class RunResult:
+    """Everything a qmasm run produces."""
+
+    solutions: List[Solution]
+    sampleset: SampleSet
+    logical: LogicalProgram
+    logical_model: IsingModel
+    representative: Dict[str, str]
+    embedding: Optional[Embedding] = None
+    physical_model: Optional[IsingModel] = None
+    info: Dict = field(default_factory=dict)
+
+    @property
+    def valid_solutions(self) -> List[Solution]:
+        return [s for s in self.solutions if s.valid]
+
+    @property
+    def best(self) -> Solution:
+        if not self.solutions:
+            raise ValueError("run produced no solutions")
+        return self.solutions[0]
+
+    def num_logical_variables(self) -> int:
+        return len(self.logical_model)
+
+    def num_physical_qubits(self) -> int:
+        if self.embedding is None:
+            return 0
+        return self.embedding.total_qubits()
+
+
+class QmasmRunner:
+    """Drives QMASM programs through solvers, like the qmasm executable."""
+
+    def __init__(
+        self,
+        machine: Optional[DWaveSimulator] = None,
+        seed: Optional[int] = None,
+    ):
+        self.machine = machine
+        self.seed = seed
+
+    def _get_machine(self) -> DWaveSimulator:
+        if self.machine is None:
+            self.machine = DWaveSimulator(seed=self.seed)
+        return self.machine
+
+    def run(
+        self,
+        source: Union[str, Program, LogicalProgram],
+        pins: Sequence[Union[str, Pin]] = (),
+        solver: str = "dwave",
+        num_reads: int = 100,
+        annealing_time_us: float = 20.0,
+        chain_strength: Optional[float] = None,
+        pin_strength: Optional[float] = None,
+        use_roof_duality: bool = False,
+        embedding_tries: int = 16,
+        embedding_seed: Optional[int] = None,
+        postprocess: str = "optimization",
+    ) -> RunResult:
+        """Assemble and execute a QMASM program.
+
+        Args:
+            source: QMASM text, a parsed :class:`Program`, or an
+                assembled :class:`LogicalProgram`.
+            pins: extra ``--pin`` style bindings (strings like
+                ``"C[7:0] := 10001111"`` or :class:`Pin` objects).
+            solver: ``"dwave"`` (embed + anneal on the simulated 2000Q),
+                ``"sa"`` (simulated annealing on the logical problem),
+                ``"sqa"`` (path-integral simulated *quantum* annealing,
+                the Hitachi-style classical annealer of Section 2),
+                ``"exact"`` (exhaustive), ``"tabu"``, or ``"qbsolv"``.
+            num_reads: anneals / reads to perform.
+            annealing_time_us: per-anneal time for the dwave solver.
+            chain_strength / pin_strength: see
+                :meth:`LogicalProgram.to_ising`.
+            use_roof_duality: elide a-priori-determined qubits first.
+            embedding_tries: restarts for the minor embedder.
+            embedding_seed: seed controlling the randomized embedder.
+            postprocess: ``"optimization"`` (default) refines unembedded
+                dwave samples with a short cold logical anneal -- the
+                analogue of SAPI's optimization postprocessing, standing
+                in for the collective chain dynamics a real annealer has
+                and single-spin-flip simulation lacks; ``"none"``
+                returns raw majority-vote samples.
+
+        Returns:
+            A :class:`RunResult` with aggregated, energy-sorted solutions.
+        """
+        logical = self._to_logical(source, pins)
+        logical_model, representative = logical.to_ising(
+            chain_strength=chain_strength, pin_strength=pin_strength
+        )
+
+        fixed: Dict[str, int] = {}
+        solve_model = logical_model
+        if use_roof_duality:
+            fixed = fix_variables(logical_model)
+            for variable, spin in fixed.items():
+                solve_model = solve_model.fix_variable(variable, spin)
+
+        start = time.perf_counter()
+        embedding = None
+        physical_model = None
+        info: Dict = {"solver": solver}
+
+        if len(solve_model) == 0:
+            # Everything was determined a priori.
+            sampleset = SampleSet.empty([])
+        elif solver == "dwave":
+            machine = self._get_machine()
+            source_graph = source_graph_of(solve_model)
+            embedding = find_embedding(
+                source_graph,
+                machine.working_graph,
+                seed=self.seed if embedding_seed is None else embedding_seed,
+                tries=embedding_tries,
+            )
+            physical_model = embed_ising(
+                solve_model, embedding, machine.working_graph,
+                chain_strength=None,
+            )
+            scaled, factor = scale_to_hardware(physical_model)
+            info["scale_factor"] = factor
+            raw = machine.sample_ising(
+                scaled, num_reads=num_reads, annealing_time_us=annealing_time_us
+            )
+            info["timing"] = raw.info.get("timing", {})
+            sampleset = unembed_sampleset(raw, embedding, solve_model)
+            info["chain_break_fraction"] = sampleset.info.get(
+                "chain_break_fraction", 0.0
+            )
+            if postprocess == "optimization" and len(sampleset):
+                sampleset = self._refine(solve_model, sampleset)
+                info["postprocess"] = "optimization"
+            elif postprocess not in ("none", "optimization"):
+                raise ValueError(f"unknown postprocess {postprocess!r}")
+        elif solver == "sa":
+            sampler = SimulatedAnnealingSampler(seed=self.seed)
+            sampleset = sampler.sample(solve_model, num_reads=num_reads)
+        elif solver == "sqa":
+            from repro.solvers.sqa import PathIntegralAnnealer
+
+            sampleset = PathIntegralAnnealer(seed=self.seed).sample(
+                solve_model, num_reads=min(num_reads, 32)
+            )
+        elif solver == "exact":
+            sampleset = ExactSolver().sample(solve_model, num_lowest=num_reads)
+        elif solver == "tabu":
+            sampleset = TabuSampler(seed=self.seed).sample(
+                solve_model, num_reads=num_reads
+            )
+        elif solver == "qbsolv":
+            sampleset = QBSolv(seed=self.seed).sample(
+                solve_model, num_reads=min(num_reads, 10)
+            )
+        else:
+            raise ValueError(f"unknown solver {solver!r}")
+
+        info["wall_time_s"] = time.perf_counter() - start
+        info["roof_duality_fixed"] = len(fixed)
+        solutions = self._report(
+            logical, sampleset, representative, fixed, logical_model
+        )
+        return RunResult(
+            solutions=solutions,
+            sampleset=sampleset,
+            logical=logical,
+            logical_model=logical_model,
+            representative=representative,
+            embedding=embedding,
+            physical_model=physical_model,
+            info=info,
+        )
+
+    # ------------------------------------------------------------------
+    def _refine(self, model: IsingModel, sampleset: SampleSet) -> SampleSet:
+        """Cold logical anneal seeded from unembedded samples.
+
+        Majority-voted samples sit near (not at) logical ground states;
+        a short low-temperature anneal from those states repairs the
+        residual gate defects, as SAPI's optimization postprocessing did
+        for the paper's runs.
+        """
+        from repro.solvers.neal import default_beta_range
+
+        _, beta_cold = default_beta_range(model)
+        order = list(model.variables)
+        positions = [sampleset.variables.index(v) for v in order]
+        initial = sampleset.records[:, positions]
+        sampler = SimulatedAnnealingSampler(seed=self.seed)
+        refined = sampler.sample(
+            model,
+            num_reads=len(initial),
+            num_sweeps=200,
+            beta_range=(beta_cold / 4.0, beta_cold * 4.0),
+            initial_states=initial,
+        )
+        refined.info.update(sampleset.info)
+        return refined
+
+    def _to_logical(
+        self,
+        source: Union[str, Program, LogicalProgram],
+        pins: Sequence[Union[str, Pin]],
+    ) -> LogicalProgram:
+        if isinstance(source, LogicalProgram):
+            logical = source
+        else:
+            program = parse_qmasm(source) if isinstance(source, str) else source
+            logical = assemble(program)
+        extra = {}
+        for pin in pins:
+            parsed = parse_pin(pin) if isinstance(pin, str) else pin
+            for variable, value in parsed.assignments.items():
+                if variable not in logical.variables:
+                    raise QmasmError(f"--pin of unknown variable {variable!r}")
+                extra[variable] = value
+        # Never mutate the caller's program: pins apply to this run only.
+        return logical.with_pins(extra)
+
+    def _report(
+        self,
+        logical: LogicalProgram,
+        sampleset: SampleSet,
+        representative: Dict[str, str],
+        fixed: Dict[str, int],
+        logical_model: IsingModel,
+    ) -> List[Solution]:
+        solutions: List[Solution] = []
+        seen: Dict[tuple, int] = {}
+        visible = logical.visible_variables()
+
+        rows = list(sampleset.aggregate()) if len(sampleset) else [None]
+        for row in rows:
+            spins: Dict[str, int] = dict(fixed)
+            if row is not None:
+                spins.update(row.assignment)
+            full = logical.expand_sample(spins, representative)
+            # Roof-fixed variables also expand through representatives.
+            for variable, rep in representative.items():
+                if rep in fixed:
+                    full[variable] = fixed[rep]
+            values = {
+                v: spin_to_bool(full[v]) for v in visible if v in full
+            }
+            key = tuple(sorted(values.items()))
+            occurrences = row.num_occurrences if row is not None else 1
+            if key in seen:
+                solutions[seen[key]].num_occurrences += occurrences
+                continue
+            energy = (
+                row.energy if row is not None else logical_model.energy(spins)
+            )
+            seen[key] = len(solutions)
+            solutions.append(
+                Solution(
+                    values=values,
+                    energy=energy,
+                    num_occurrences=occurrences,
+                    failed_assertions=logical.check_assertions(full),
+                    pins_respected=logical.pins_satisfied(full),
+                )
+            )
+        solutions.sort(key=lambda s: (s.energy, -s.num_occurrences))
+        return solutions

@@ -1,0 +1,103 @@
+"""QMASM serialization: programs and logical models back to text.
+
+Round-trip support: anything parsed (or built programmatically) can be
+re-rendered as QMASM source, and a flattened :class:`LogicalProgram`
+can be dumped as the fully macro-expanded program -- the form qmasm
+shows with its verbose output.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.qmasm.assembler import LogicalProgram
+from repro.qmasm.program import (
+    Alias,
+    Assertion,
+    Chain,
+    Coupler,
+    Include,
+    MacroDef,
+    Pin,
+    Program,
+    QmasmError,
+    Statement,
+    UseMacro,
+    Weight,
+)
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _render_statement(statement: Statement) -> List[str]:
+    if isinstance(statement, Weight):
+        return [f"{statement.variable} {_format_value(statement.value)}"]
+    if isinstance(statement, Coupler):
+        return [
+            f"{statement.variable_a} {statement.variable_b} "
+            f"{_format_value(statement.value)}"
+        ]
+    if isinstance(statement, Chain):
+        operator = "=" if statement.same else "/="
+        return [f"{statement.variable_a} {operator} {statement.variable_b}"]
+    if isinstance(statement, Pin):
+        return [
+            f"{variable} := {'true' if value else 'false'}"
+            for variable, value in statement.assignments.items()
+        ]
+    if isinstance(statement, Alias):
+        return [f"!alias {statement.new} {statement.old}"]
+    if isinstance(statement, Assertion):
+        return [f"!assert {statement.source}"]
+    if isinstance(statement, UseMacro):
+        return [f"!use_macro {statement.macro} {' '.join(statement.instances)}"]
+    if isinstance(statement, Include):
+        # Contents were already inlined at parse time; keep the record
+        # as a comment so round-trips stay semantically identical
+        # without double-including.
+        return [f"# (was: !include <{statement.target}>)"]
+    raise QmasmError(f"cannot render statement {statement!r}")
+
+
+def write_qmasm(program: Program) -> str:
+    """Render a parsed/constructed :class:`Program` as QMASM source."""
+    lines: List[str] = []
+    for macro in program.macros.values():
+        lines.append(f"!begin_macro {macro.name}")
+        for statement in macro.body:
+            lines.extend(_render_statement(statement))
+        lines.append(f"!end_macro {macro.name}")
+        lines.append("")
+    for statement in program.statements:
+        lines.extend(_render_statement(statement))
+    return "\n".join(lines) + "\n"
+
+
+def write_logical(logical: LogicalProgram) -> str:
+    """Render an assembled program: flat weights, couplers, chains, pins.
+
+    This is the fully macro-expanded view; parsing and re-assembling it
+    reproduces the same Ising model.
+    """
+    lines: List[str] = ["# flattened (macro-expanded) QMASM program"]
+    for variable in sorted(logical.variables, key=str):
+        bias = logical.model.linear.get(variable, 0.0)
+        lines.append(f"{variable} {_format_value(bias)}")
+    for (u, v), coupling in sorted(
+        logical.model.quadratic.items(), key=lambda kv: (str(kv[0][0]), str(kv[0][1]))
+    ):
+        if coupling != 0.0:
+            lines.append(f"{u} {v} {_format_value(coupling)}")
+    for a, b, same in logical.chains:
+        lines.append(f"{a} {'=' if same else '/='} {b}")
+    for variable, value in sorted(logical.pins.items()):
+        lines.append(f"{variable} := {'true' if value else 'false'}")
+    # Assertion sources keep their original (pre-expansion) spelling, so
+    # they are recorded as comments rather than re-parsed.
+    for _expression, source in logical.assertions:
+        lines.append(f"# !assert {source}")
+    return "\n".join(lines) + "\n"

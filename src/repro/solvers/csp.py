@@ -1,0 +1,269 @@
+"""Constraint solver: the MiniZinc/Chuffed stand-in for Section 6.2.
+
+The paper compares per-solution time on a D-Wave 2000Q against Chuffed
+solving the MiniZinc model of Listing 8.  This module provides:
+
+- :class:`CSPModel`: finite-domain variables plus n-ary constraints.
+- :class:`CSPSolver`: AC-3 arc-consistency preprocessing for binary
+  constraints followed by MRV backtracking search with forward checking
+  (the same propagation + search family Chuffed belongs to, minus lazy
+  clause generation).
+- :func:`parse_minizinc`: a parser for the MiniZinc subset that Listing 8
+  uses (``var lo..hi: NAME;`` declarations and binary comparison
+  constraints), so the paper's baseline model runs verbatim.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+Value = Hashable
+
+
+class CSPError(Exception):
+    """Malformed model or unsupported MiniZinc construct."""
+
+
+class Constraint:
+    """An n-ary constraint: a predicate over specific variables."""
+
+    def __init__(self, variables: Sequence[str], predicate: Callable[..., bool], name: str = ""):
+        if not variables:
+            raise CSPError("constraint needs at least one variable")
+        self.variables = tuple(variables)
+        self.predicate = predicate
+        self.name = name or f"constraint({', '.join(map(str, variables))})"
+
+    def check(self, assignment: Dict[str, Value]) -> bool:
+        """True if satisfied or not yet fully assigned."""
+        values = []
+        for v in self.variables:
+            if v not in assignment:
+                return True
+            values.append(assignment[v])
+        return bool(self.predicate(*values))
+
+    def __repr__(self) -> str:
+        return f"Constraint({self.name})"
+
+
+class CSPModel:
+    """A finite-domain constraint-satisfaction model."""
+
+    def __init__(self):
+        self.domains: Dict[str, List[Value]] = {}
+        self.constraints: List[Constraint] = []
+
+    def add_variable(self, name: str, domain: Iterable[Value]) -> None:
+        domain = list(domain)
+        if not domain:
+            raise CSPError(f"empty domain for {name!r}")
+        if name in self.domains:
+            raise CSPError(f"duplicate variable {name!r}")
+        self.domains[name] = domain
+
+    def add_constraint(
+        self,
+        variables: Sequence[str],
+        predicate: Callable[..., bool],
+        name: str = "",
+    ) -> None:
+        for v in variables:
+            if v not in self.domains:
+                raise CSPError(f"constraint references unknown variable {v!r}")
+        self.constraints.append(Constraint(variables, predicate, name))
+
+    def not_equal(self, a: str, b: str) -> None:
+        """Convenience for the map-coloring style ``a != b`` constraint."""
+        self.add_constraint([a, b], lambda x, y: x != y, name=f"{a} != {b}")
+
+    def all_different(self, variables: Sequence[str]) -> None:
+        for a, b in itertools.combinations(variables, 2):
+            self.not_equal(a, b)
+
+    def is_satisfied(self, assignment: Dict[str, Value]) -> bool:
+        """Check a *complete* assignment against every constraint."""
+        if set(assignment) != set(self.domains):
+            return False
+        return all(c.check(assignment) for c in self.constraints)
+
+
+class CSPSolver:
+    """AC-3 + MRV backtracking with forward checking."""
+
+    def __init__(self):
+        self.nodes_explored = 0
+
+    # ------------------------------------------------------------------
+    def solve(self, model: CSPModel) -> Optional[Dict[str, Value]]:
+        """Return the first solution found, or None if unsatisfiable."""
+        for solution in self.solutions(model):
+            return solution
+        return None
+
+    def solve_all(self, model: CSPModel, limit: Optional[int] = None) -> List[Dict[str, Value]]:
+        out = []
+        for solution in self.solutions(model):
+            out.append(solution)
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    def count_solutions(self, model: CSPModel) -> int:
+        return sum(1 for _ in self.solutions(model))
+
+    # ------------------------------------------------------------------
+    def solutions(self, model: CSPModel):
+        """Generate all solutions (depth-first)."""
+        self.nodes_explored = 0
+        domains = {v: list(dom) for v, dom in model.domains.items()}
+        binary = [c for c in model.constraints if len(c.variables) == 2]
+        if not self._ac3(domains, binary):
+            return
+        yield from self._search(domains, {}, model)
+
+    def _ac3(self, domains: Dict[str, List[Value]], binary: List[Constraint]) -> bool:
+        """Prune binary-inconsistent values; False if a domain empties."""
+        arcs = []
+        for c in binary:
+            a, b = c.variables
+            arcs.append((a, b, c))
+            arcs.append((b, a, c))
+        queue = list(arcs)
+        while queue:
+            x, y, constraint = queue.pop()
+            if self._revise(domains, x, y, constraint):
+                if not domains[x]:
+                    return False
+                for a, b, c in arcs:
+                    if b == x and a != y:
+                        queue.append((a, b, c))
+        return True
+
+    @staticmethod
+    def _revise(
+        domains: Dict[str, List[Value]], x: str, y: str, constraint: Constraint
+    ) -> bool:
+        a, b = constraint.variables
+
+        def holds(vx, vy):
+            return constraint.predicate(vx, vy) if (a, b) == (x, y) else constraint.predicate(vy, vx)
+
+        keep = [vx for vx in domains[x] if any(holds(vx, vy) for vy in domains[y])]
+        if len(keep) != len(domains[x]):
+            domains[x] = keep
+            return True
+        return False
+
+    def _search(self, domains, assignment, model):
+        if len(assignment) == len(model.domains):
+            yield dict(assignment)
+            return
+        # MRV: branch on the unassigned variable with the fewest values.
+        var = min(
+            (v for v in model.domains if v not in assignment),
+            key=lambda v: len(domains[v]),
+        )
+        for value in domains[var]:
+            self.nodes_explored += 1
+            assignment[var] = value
+            if all(c.check(assignment) for c in model.constraints if var in c.variables):
+                pruned = self._forward_check(domains, assignment, model, var)
+                if pruned is not None:
+                    yield from self._search(pruned, assignment, model)
+            del assignment[var]
+
+    def _forward_check(self, domains, assignment, model, var):
+        """Filter neighbors' domains through constraints now one-short.
+
+        Returns the reduced domain map, or None on a wipeout.
+        """
+        new_domains = {v: list(dom) for v, dom in domains.items()}
+        new_domains[var] = [assignment[var]]
+        for constraint in model.constraints:
+            if var not in constraint.variables:
+                continue
+            unassigned = [v for v in constraint.variables if v not in assignment]
+            if len(unassigned) != 1:
+                continue
+            target = unassigned[0]
+            keep = []
+            for candidate in new_domains[target]:
+                assignment[target] = candidate
+                if constraint.check(assignment):
+                    keep.append(candidate)
+                del assignment[target]
+            new_domains[target] = keep
+            if not keep:
+                return None
+        return new_domains
+
+
+# ----------------------------------------------------------------------
+# MiniZinc subset (enough for the paper's Listing 8)
+# ----------------------------------------------------------------------
+_VAR_RE = re.compile(r"^var\s+(-?\d+)\s*\.\.\s*(-?\d+)\s*:\s*([A-Za-z_]\w*)$")
+_CONSTRAINT_RE = re.compile(
+    r"^constraint\s+([A-Za-z_]\w*|-?\d+)\s*(!=|==|=|<=|>=|<|>)\s*([A-Za-z_]\w*|-?\d+)$"
+)
+_SOLVE_RE = re.compile(r"^solve\s+satisfy$")
+
+_OPERATORS: Dict[str, Callable[[Value, Value], bool]] = {
+    "!=": lambda a, b: a != b,
+    "==": lambda a, b: a == b,
+    "=": lambda a, b: a == b,
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+}
+
+
+def parse_minizinc(source: str) -> CSPModel:
+    """Parse the MiniZinc subset used by the paper's Listing 8.
+
+    Supports ``var lo..hi: NAME;``, binary comparison constraints between
+    variables and/or integer literals, ``%`` comments, and
+    ``solve satisfy;``.  Raises :class:`CSPError` on anything else.
+    """
+    model = CSPModel()
+    for raw_line in source.splitlines():
+        line = raw_line.split("%", 1)[0].strip()
+        if not line:
+            continue
+        for statement in filter(None, (s.strip() for s in line.split(";"))):
+            if _parse_statement(statement, model):
+                continue
+            raise CSPError(f"unsupported MiniZinc statement: {statement!r}")
+    return model
+
+
+def _parse_statement(statement: str, model: CSPModel) -> bool:
+    match = _VAR_RE.match(statement)
+    if match:
+        lo, hi, name = int(match.group(1)), int(match.group(2)), match.group(3)
+        model.add_variable(name, range(lo, hi + 1))
+        return True
+    match = _CONSTRAINT_RE.match(statement)
+    if match:
+        lhs, op, rhs = match.groups()
+        predicate = _OPERATORS[op]
+        lhs_const = re.fullmatch(r"-?\d+", lhs)
+        rhs_const = re.fullmatch(r"-?\d+", rhs)
+        if lhs_const and rhs_const:
+            if not predicate(int(lhs), int(rhs)):
+                raise CSPError(f"trivially false constraint: {statement!r}")
+        elif lhs_const:
+            value = int(lhs)
+            model.add_constraint([rhs], lambda x, v=value, p=predicate: p(v, x), statement)
+        elif rhs_const:
+            value = int(rhs)
+            model.add_constraint([lhs], lambda x, v=value, p=predicate: p(x, v), statement)
+        else:
+            model.add_constraint([lhs, rhs], predicate, statement)
+        return True
+    if _SOLVE_RE.match(statement):
+        return True
+    return False

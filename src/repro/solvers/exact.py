@@ -1,0 +1,54 @@
+"""Exhaustive ground-truth solver for small Ising models.
+
+Enumerates all 2^N spin assignments with a vectorized energy evaluation.
+Used as the oracle in tests and as the terminal subsolver for very small
+qbsolv subproblems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ising.model import IsingModel
+from repro.solvers.sampleset import SampleSet
+
+
+class ExactSolver:
+    """Enumerate every spin assignment of a model (N <= ``max_variables``)."""
+
+    def __init__(self, max_variables: int = 22):
+        self.max_variables = max_variables
+
+    def sample(self, model: IsingModel, num_lowest: int = 0) -> SampleSet:
+        """Evaluate all assignments; optionally keep only ``num_lowest`` rows.
+
+        Args:
+            model: the Ising model to minimize.
+            num_lowest: if positive, truncate the returned set to that
+                many lowest-energy rows (0 keeps everything).
+        """
+        order = list(model.variables)
+        n = len(order)
+        if n == 0:
+            return SampleSet.empty([])
+        if n > self.max_variables:
+            raise ValueError(
+                f"{n} variables exceeds ExactSolver limit of {self.max_variables}"
+            )
+        # All assignments as a (2^n, n) matrix of +/-1 spins.
+        grid = np.indices((2,) * n).reshape(n, -1).T
+        spins = (2 * grid - 1).astype(np.int8)
+        sampleset = SampleSet.from_array(order, spins, model, info={"solver": "exact"})
+        if num_lowest:
+            return SampleSet(
+                order,
+                sampleset.records[:num_lowest],
+                sampleset.energies[:num_lowest],
+                sampleset.occurrences[:num_lowest],
+                sampleset.info,
+            )
+        return sampleset
+
+    def ground_states(self, model: IsingModel, tol: float = 1e-9) -> SampleSet:
+        """Only the minimum-energy assignments."""
+        return self.sample(model).lowest(tol)

@@ -1,0 +1,42 @@
+"""Logic synthesis: the Yosys + ABC stand-in (Section 4.2).
+
+The paper compiles Verilog to a gate-level netlist with Yosys, optimized
+by ABC over its default cell set.  This package provides the same
+functionality:
+
+- :mod:`repro.synth.netlist` -- the gate-level IR (cells, nets, ports).
+- :mod:`repro.synth.lowering` -- a word-level circuit builder (adders,
+  multipliers, comparators, muxes, shifters) used by the Verilog
+  elaborator to lower expressions to gates.
+- :mod:`repro.synth.opt` -- netlist optimization: constant propagation,
+  dead-gate elimination, double-inverter removal, common-subexpression
+  sharing (the ABC role).
+- :mod:`repro.synth.techmap` -- pattern rewrites into the richer Table 5
+  cells (NAND/NOR/XNOR/AOI/OAI) to reduce cell count.
+- :mod:`repro.synth.simulate` -- a forward netlist simulator, used to
+  verify compilations and to check proposed NP solutions in polynomial
+  time (Section 5.1).
+- :mod:`repro.synth.unroll` -- time unrolling of sequential logic
+  (Section 4.3.3): trade the time dimension for space.
+"""
+
+from repro.synth.netlist import Cell, Netlist, Port, PortDirection, NetlistError
+from repro.synth.lowering import CircuitBuilder
+from repro.synth.opt import optimize
+from repro.synth.techmap import techmap
+from repro.synth.simulate import NetlistSimulator, SimulationError
+from repro.synth.unroll import unroll
+
+__all__ = [
+    "Cell",
+    "Netlist",
+    "NetlistError",
+    "Port",
+    "PortDirection",
+    "CircuitBuilder",
+    "optimize",
+    "techmap",
+    "NetlistSimulator",
+    "SimulationError",
+    "unroll",
+]

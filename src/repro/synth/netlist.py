@@ -1,0 +1,269 @@
+"""Gate-level netlist IR.
+
+A :class:`Netlist` is "a precise specification of gates and the wires
+that connect them" (Section 4.2).  Nets are single-bit and identified by
+small integers; multi-bit signals are lists of net ids, most-significant
+bit last (index i is bit i).  Cells are instances of the standard-cell
+library in :mod:`repro.ising.cells`, plus the pseudo-cells ``GND`` and
+``VCC`` that drive constant nets.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.ising.cells import CELL_LIBRARY
+
+#: Pseudo-cells: single-output constant drivers (Section 4.3.4).
+CONSTANT_CELLS = {"GND": False, "VCC": True}
+
+Net = int
+
+
+class NetlistError(Exception):
+    """Structural problem: multiple drivers, missing ports, bad cell type."""
+
+
+class PortDirection(enum.Enum):
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+@dataclass
+class Port:
+    """A module-level port: a named, directed bit vector."""
+
+    name: str
+    direction: PortDirection
+    bits: List[Net]
+
+    @property
+    def width(self) -> int:
+        return len(self.bits)
+
+
+@dataclass
+class Cell:
+    """A gate instance: a cell type plus port-to-net connections."""
+
+    kind: str
+    name: str
+    connections: Dict[str, Net]
+
+    @property
+    def output_port(self) -> str:
+        if self.kind in CONSTANT_CELLS:
+            return "Y"
+        return CELL_LIBRARY[self.kind].output
+
+    @property
+    def output_net(self) -> Net:
+        return self.connections[self.output_port]
+
+    @property
+    def input_ports(self) -> Tuple[str, ...]:
+        if self.kind in CONSTANT_CELLS:
+            return ()
+        return CELL_LIBRARY[self.kind].inputs
+
+    @property
+    def input_nets(self) -> Tuple[Net, ...]:
+        return tuple(self.connections[p] for p in self.input_ports)
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.kind not in CONSTANT_CELLS and CELL_LIBRARY[self.kind].is_sequential
+
+
+class Netlist:
+    """A flat, single-module gate-level circuit."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.ports: Dict[str, Port] = {}
+        self.cells: Dict[str, Cell] = {}
+        self.net_names: Dict[str, List[Net]] = {}
+        self._next_net: Net = 0
+        self._next_cell: int = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def new_net(self) -> Net:
+        net = self._next_net
+        self._next_net += 1
+        return net
+
+    def new_nets(self, width: int) -> List[Net]:
+        return [self.new_net() for _ in range(width)]
+
+    def add_port(
+        self, name: str, direction: PortDirection, bits: Sequence[Net]
+    ) -> Port:
+        if name in self.ports:
+            raise NetlistError(f"duplicate port {name!r}")
+        port = Port(name, direction, list(bits))
+        self.ports[name] = port
+        self.net_names.setdefault(name, list(bits))
+        return port
+
+    def add_cell(
+        self, kind: str, connections: Dict[str, Net], name: Optional[str] = None
+    ) -> Cell:
+        if kind not in CELL_LIBRARY and kind not in CONSTANT_CELLS:
+            raise NetlistError(f"unknown cell type {kind!r}")
+        if kind in CELL_LIBRARY:
+            spec = CELL_LIBRARY[kind]
+            expected = set(spec.ports)
+            if set(connections) != expected:
+                raise NetlistError(
+                    f"cell {kind} needs ports {sorted(expected)}, "
+                    f"got {sorted(connections)}"
+                )
+        elif set(connections) != {"Y"}:
+            raise NetlistError(f"constant cell {kind} needs exactly port Y")
+        if name is None:
+            name = f"id{self._next_cell:05d}"
+            self._next_cell += 1
+        if name in self.cells:
+            raise NetlistError(f"duplicate cell name {name!r}")
+        cell = Cell(kind, name, dict(connections))
+        self.cells[name] = cell
+        return cell
+
+    def name_net(self, name: str, bits: Sequence[Net]) -> None:
+        """Record a human-readable name for a bit vector (EDIF nets)."""
+        self.net_names[name] = list(bits)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def inputs(self) -> List[Port]:
+        return [p for p in self.ports.values() if p.direction == PortDirection.INPUT]
+
+    def outputs(self) -> List[Port]:
+        return [p for p in self.ports.values() if p.direction == PortDirection.OUTPUT]
+
+    def drivers(self) -> Dict[Net, Tuple[str, str]]:
+        """Map each driven net to its (cell_name, port) driver.
+
+        Module inputs are recorded with cell name ``""`` and the port
+        name.  Raises on multiply-driven nets.
+        """
+        out: Dict[Net, Tuple[str, str]] = {}
+        for port in self.inputs():
+            for i, net in enumerate(port.bits):
+                if net in out:
+                    raise NetlistError(f"net {net} multiply driven")
+                out[net] = ("", f"{port.name}[{i}]")
+        for cell in self.cells.values():
+            net = cell.output_net
+            if net in out:
+                raise NetlistError(
+                    f"net {net} multiply driven (by {out[net]} and {cell.name})"
+                )
+            out[net] = (cell.name, cell.output_port)
+        return out
+
+    def sinks(self) -> Dict[Net, List[Tuple[str, str]]]:
+        """Map each net to the (cell_name, port) pairs that read it."""
+        out: Dict[Net, List[Tuple[str, str]]] = {}
+        for cell in self.cells.values():
+            for port_name in cell.input_ports:
+                out.setdefault(cell.connections[port_name], []).append(
+                    (cell.name, port_name)
+                )
+        for port in self.outputs():
+            for i, net in enumerate(port.bits):
+                out.setdefault(net, []).append(("", f"{port.name}[{i}]"))
+        return out
+
+    def num_cells(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return len(self.cells)
+        return sum(1 for c in self.cells.values() if c.kind == kind)
+
+    def cell_histogram(self) -> Dict[str, int]:
+        hist: Dict[str, int] = {}
+        for cell in self.cells.values():
+            hist[cell.kind] = hist.get(cell.kind, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def all_nets(self) -> Set[Net]:
+        nets: Set[Net] = set()
+        for port in self.ports.values():
+            nets.update(port.bits)
+        for cell in self.cells.values():
+            nets.update(cell.connections.values())
+        return nets
+
+    def has_sequential(self) -> bool:
+        return any(cell.is_sequential for cell in self.cells.values())
+
+    # ------------------------------------------------------------------
+    # Ordering and validation
+    # ------------------------------------------------------------------
+    def topological_cells(self) -> List[Cell]:
+        """Combinational cells in dependency order (DFFs excluded sources).
+
+        Flip-flop outputs and module inputs are treated as sources.
+        Raises :class:`NetlistError` on a combinational cycle.
+        """
+        ready: Set[Net] = set()
+        for port in self.inputs():
+            ready.update(port.bits)
+        pending: List[Cell] = []
+        for cell in self.cells.values():
+            if cell.is_sequential or cell.kind in CONSTANT_CELLS:
+                ready.add(cell.output_net)
+            else:
+                pending.append(cell)
+
+        order: List[Cell] = []
+        # Include constant cells first so simulators see their values.
+        order.extend(
+            c for c in self.cells.values() if c.kind in CONSTANT_CELLS
+        )
+        remaining = list(pending)
+        while remaining:
+            progress = []
+            still = []
+            for cell in remaining:
+                if all(net in ready for net in cell.input_nets):
+                    progress.append(cell)
+                    ready.add(cell.output_net)
+                else:
+                    still.append(cell)
+            if not progress:
+                names = [c.name for c in still[:5]]
+                raise NetlistError(f"combinational cycle involving {names}")
+            order.extend(progress)
+            remaining = still
+        # Sequential cells last (their inputs are now ordered).
+        order.extend(c for c in self.cells.values() if c.is_sequential)
+        return order
+
+    def validate(self) -> None:
+        """Check single-driver discipline and that all inputs are driven."""
+        drivers = self.drivers()
+        for cell in self.cells.values():
+            for port_name in cell.input_ports:
+                net = cell.connections[port_name]
+                if net not in drivers:
+                    raise NetlistError(
+                        f"cell {cell.name} port {port_name} reads undriven net {net}"
+                    )
+        for port in self.outputs():
+            for i, net in enumerate(port.bits):
+                if net not in drivers:
+                    raise NetlistError(
+                        f"output {port.name}[{i}] is an undriven net {net}"
+                    )
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}, {len(self.cells)} cells, "
+            f"{len(self.ports)} ports)"
+        )

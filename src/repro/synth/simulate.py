@@ -1,0 +1,128 @@
+"""Forward netlist simulation.
+
+Running compiled programs forward on classical hardware is half of the
+paper's methodology: by the definition of NP, proposed solutions pulled
+out of the annealer can be *verified* in polynomial time by evaluating
+the verifier circuit forward (Section 5.2).  This simulator is that
+polynomial-time evaluator, and also serves as the differential-testing
+oracle for the whole synthesis flow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.ising.cells import CELL_LIBRARY
+from repro.synth.netlist import CONSTANT_CELLS, Cell, Net, Netlist
+
+
+class SimulationError(Exception):
+    """Missing input values or structural problems during simulation."""
+
+
+class NetlistSimulator:
+    """Evaluate a netlist on concrete inputs.
+
+    Combinational circuits use :meth:`evaluate`.  Sequential circuits
+    (with flip-flops) use :meth:`reset` then repeated :meth:`step` calls,
+    one per clock cycle; state lives in the flip-flop outputs.
+    """
+
+    def __init__(self, netlist: Netlist):
+        netlist.validate()
+        self.netlist = netlist
+        self._order = netlist.topological_cells()
+        self._state: Dict[Net, bool] = {}
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def reset(self, initial_state: bool = False) -> None:
+        """Set every flip-flop output to ``initial_state``."""
+        self._state = {}
+        for cell in self.netlist.cells.values():
+            if cell.is_sequential:
+                self._state[cell.connections["Q"]] = initial_state
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        """Evaluate combinationally; returns port-name -> integer value.
+
+        Sequential circuits may also be evaluated: flip-flop outputs hold
+        their current state and are *not* clocked.
+        """
+        nets = self._input_nets(inputs)
+        nets.update(self._state)
+        self._propagate(nets)
+        return self._read_outputs(nets)
+
+    def step(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        """One clock cycle: evaluate, then latch every flip-flop.
+
+        Clock ports are ignored if present in ``inputs`` -- the paper's
+        discrete-time semantics ("clock edges are ignored, and a D is
+        always propagated to the subsequent time step's Q",
+        Section 4.3.3).
+        """
+        nets = self._input_nets(inputs)
+        nets.update(self._state)
+        self._propagate(nets)
+        outputs = self._read_outputs(nets)
+        for cell in self.netlist.cells.values():
+            if cell.is_sequential:
+                self._state[cell.connections["Q"]] = nets[cell.connections["D"]]
+        return outputs
+
+    def run(self, input_sequence: List[Mapping[str, int]]) -> List[Dict[str, int]]:
+        """Clock through a sequence of input maps; returns per-cycle outputs."""
+        return [self.step(inputs) for inputs in input_sequence]
+
+    # ------------------------------------------------------------------
+    def _input_nets(self, inputs: Mapping[str, int]) -> Dict[Net, bool]:
+        nets: Dict[Net, bool] = {}
+        for port in self.netlist.inputs():
+            if port.name not in inputs:
+                raise SimulationError(f"missing value for input {port.name!r}")
+            value = int(inputs[port.name])
+            if value < 0:
+                value &= (1 << port.width) - 1
+            if value >= (1 << port.width):
+                raise SimulationError(
+                    f"value {value} does not fit {port.width}-bit input {port.name!r}"
+                )
+            for i, net in enumerate(port.bits):
+                nets[net] = bool((value >> i) & 1)
+        unknown = set(inputs) - {p.name for p in self.netlist.inputs()}
+        if unknown:
+            raise SimulationError(f"not input ports: {sorted(unknown)}")
+        return nets
+
+    def _propagate(self, nets: Dict[Net, bool]) -> None:
+        for cell in self._order:
+            if cell.is_sequential:
+                continue  # Q values come from state
+            nets[cell.output_net] = _evaluate_cell(cell, nets)
+
+    def _read_outputs(self, nets: Dict[Net, bool]) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for port in self.netlist.outputs():
+            value = 0
+            for i, net in enumerate(port.bits):
+                if net not in nets:
+                    raise SimulationError(
+                        f"output {port.name}[{i}] never computed (net {net})"
+                    )
+                value |= int(nets[net]) << i
+            out[port.name] = value
+        return out
+
+
+def _evaluate_cell(cell: Cell, nets: Mapping[Net, bool]) -> bool:
+    if cell.kind in CONSTANT_CELLS:
+        return CONSTANT_CELLS[cell.kind]
+    spec = CELL_LIBRARY[cell.kind]
+    try:
+        args = [nets[cell.connections[p]] for p in spec.inputs]
+    except KeyError as exc:
+        raise SimulationError(
+            f"cell {cell.name} input net {exc} has no value (cycle?)"
+        ) from exc
+    return bool(spec.function(*args))

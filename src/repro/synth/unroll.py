@@ -1,0 +1,127 @@
+"""Time unrolling of sequential logic (Section 4.3.3).
+
+A quadratic pseudo-Boolean function is a pure function, but Verilog
+programs can be stateful.  The paper's solution: "statically unroll the
+code, replicating the entire program for each time step ... with the
+outputs of one time step serving as the inputs to the subsequent time
+step."  A D flip-flop instantiated at time t forwards its Q output to
+the D input of the same flip-flop at time t+1; because time is discrete,
+clock edges are ignored.
+
+``unroll(netlist, steps)`` produces a purely combinational netlist in
+which every input port ``x`` becomes ``x@0 .. x@{steps-1}``, every
+output ``y`` likewise, and each flip-flop's initial state is exposed as
+an input port ``<cell>@init`` (or tied to ground with
+``initial_value=0``).  Trading time for space this way "exacts a heavy
+toll in qubit count", which is precisely what the Listing 3 counter
+benchmark measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.synth.netlist import Net, Netlist, NetlistError, PortDirection
+
+#: Port names treated as clocks and dropped during unrolling.
+CLOCK_NAMES = ("clk", "clock", "ck")
+
+
+def unroll(
+    netlist: Netlist,
+    steps: int,
+    clock_ports: Optional[Iterable[str]] = None,
+    initial_value: Optional[int] = None,
+) -> Netlist:
+    """Unroll a sequential netlist over ``steps`` discrete time steps.
+
+    Args:
+        netlist: the circuit to unroll (combinational circuits pass
+            through as a single step).
+        steps: how many time steps to replicate; this is the
+            "user-specified final time" bound of Section 4.3.3.
+        clock_ports: names of clock inputs to drop; defaults to any
+            input named like a clock (``clk``, ``clock``, ``ck``).
+        initial_value: if given, every flip-flop starts at this bit
+            value (0 or 1); if None, each flip-flop's initial state
+            becomes an input port named ``<cell>@init`` so the annealer
+            may solve for it.
+
+    Returns:
+        A combinational :class:`Netlist` named ``<name>@<steps>``.
+    """
+    if steps < 1:
+        raise NetlistError("steps must be >= 1")
+    if clock_ports is None:
+        clock_ports = [
+            p.name
+            for p in netlist.inputs()
+            if p.name.lower() in CLOCK_NAMES and p.width == 1
+        ]
+    clock_set = set(clock_ports)
+    for name in clock_set:
+        if name not in netlist.ports:
+            raise NetlistError(f"clock port {name!r} does not exist")
+
+    out = Netlist(f"{netlist.name}@{steps}")
+    dffs = [c for c in netlist.cells.values() if c.is_sequential]
+
+    # Initial flip-flop state: input ports or constants.
+    init_nets: Dict[str, Net] = {}
+    if initial_value is None:
+        for dff in dffs:
+            net = out.new_net()
+            out.add_port(f"{dff.name}@init", PortDirection.INPUT, [net])
+            init_nets[dff.name] = net
+    else:
+        if initial_value not in (0, 1):
+            raise NetlistError("initial_value must be 0 or 1")
+        kind = "VCC" if initial_value else "GND"
+        const = out.new_net()
+        out.add_cell(kind, {"Y": const})
+        for dff in dffs:
+            init_nets[dff.name] = const
+
+    # Q of step t comes from D of step t-1 (or the initial state).
+    prev_d_nets: Dict[str, Net] = dict(init_nets)
+
+    for t in range(steps):
+        mapping: Dict[Net, Net] = {}
+
+        def map_net(net: Net) -> Net:
+            if net not in mapping:
+                mapping[net] = out.new_net()
+            return mapping[net]
+
+        # Pre-wire flip-flop outputs to the previous step's D nets.
+        for dff in dffs:
+            mapping[dff.connections["Q"]] = prev_d_nets[dff.name]
+
+        for port in netlist.inputs():
+            if port.name in clock_set:
+                continue
+            out.add_port(
+                f"{port.name}@{t}",
+                PortDirection.INPUT,
+                [map_net(n) for n in port.bits],
+            )
+        for cell in netlist.cells.values():
+            if cell.is_sequential:
+                continue
+            out.add_cell(
+                cell.kind,
+                {p: map_net(n) for p, n in cell.connections.items()},
+                name=f"{cell.name}@{t}",
+            )
+        for port in netlist.outputs():
+            out.add_port(
+                f"{port.name}@{t}",
+                PortDirection.OUTPUT,
+                [map_net(n) for n in port.bits],
+            )
+        prev_d_nets = {
+            dff.name: map_net(dff.connections["D"]) for dff in dffs
+        }
+
+    out.validate()
+    return out

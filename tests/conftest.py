@@ -1,0 +1,127 @@
+"""Shared fixtures: paper listings, small models, and compilers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import VerilogAnnealerCompiler
+from repro.ising.model import IsingModel
+
+# ----------------------------------------------------------------------
+# The paper's Verilog listings, verbatim.
+# ----------------------------------------------------------------------
+FIGURE_2A = """
+module circuit (s, a, b, c);
+    input s, a, b;
+    output [1:0] c;
+    assign c = s ? a+b : a-b;
+endmodule
+"""
+
+LISTING_3_COUNTER = """
+module count (clk, inc, reset, out);
+    input clk;
+    input inc;
+    input reset;
+    output [5:0] out;
+    reg [5:0] var;
+    always @(posedge clk)
+      if (reset)
+        var <= 0;
+      else
+        if (inc)
+          var <= var + 1;
+    assign out = var;
+endmodule
+"""
+
+LISTING_5_CIRCSAT = """
+module circsat (a, b, c, y);
+    input a, b, c;
+    output y;
+    wire [1:10] x;
+    assign x[1] = a;
+    assign x[2] = b;
+    assign x[3] = c;
+    assign x[4] = ~x[3];
+    assign x[5] = x[1] | x[2];
+    assign x[6] = ~x[4];
+    assign x[7] = x[1] & x[2] & x[4];
+    assign x[8] = x[5] | x[6];
+    assign x[9] = x[6] | x[7];
+    assign x[10] = x[8] & x[9] & x[7];
+    assign y = x[10];
+endmodule
+"""
+
+LISTING_6_MULT = """
+module mult (A, B, C);
+   input [3:0] A;
+   input [3:0] B;
+   output[7:0] C;
+   assign C = A * B;
+endmodule
+"""
+
+LISTING_7_AUSTRALIA = """
+module australia (NSW, QLD, SA, VIC, WA, NT, ACT, valid);
+   input [1:0] NSW, QLD, SA, VIC, WA, NT, ACT;
+   output valid;
+   assign valid = WA != NT && WA != SA && NT != SA && NT != QLD
+       && SA != QLD && SA != NSW && SA != VIC && QLD != NSW
+       && NSW != VIC && NSW != ACT;
+endmodule
+"""
+
+LISTING_8_MINIZINC = """
+var 1..4: NSW;
+var 1..4: QLD;
+var 1..4: SA;
+var 1..4: VIC;
+var 1..4: WA;
+var 1..4: NT;
+var 1..4: ACT;
+constraint WA != NT;
+constraint WA != SA;
+constraint NT != SA;
+constraint NT != QLD;
+constraint SA != QLD;
+constraint SA != NSW;
+constraint SA != VIC;
+constraint QLD != NSW;
+constraint NSW != VIC;
+constraint NSW != ACT;
+solve satisfy;
+"""
+
+AUSTRALIA_REGIONS = ["NSW", "QLD", "SA", "VIC", "WA", "NT", "ACT"]
+AUSTRALIA_ADJACENT = [
+    ("WA", "NT"), ("WA", "SA"), ("NT", "SA"), ("NT", "QLD"),
+    ("SA", "QLD"), ("SA", "NSW"), ("SA", "VIC"), ("QLD", "NSW"),
+    ("NSW", "VIC"), ("NSW", "ACT"),
+]
+
+
+@pytest.fixture(scope="session")
+def compiler() -> VerilogAnnealerCompiler:
+    """A session-wide compiler with a fixed seed."""
+    return VerilogAnnealerCompiler(seed=2019)
+
+
+@pytest.fixture(scope="session")
+def circsat_program(compiler):
+    return compiler.compile(LISTING_5_CIRCSAT)
+
+
+@pytest.fixture(scope="session")
+def figure2_program(compiler):
+    return compiler.compile(FIGURE_2A)
+
+
+@pytest.fixture()
+def triangle_model() -> IsingModel:
+    """A frustrated 3-spin antiferromagnet (6 degenerate ground states)."""
+    model = IsingModel()
+    for pair in (("a", "b"), ("b", "c"), ("c", "a")):
+        model.add_interaction(*pair, 1.0)
+    return model

@@ -1,0 +1,189 @@
+"""Tests for the Table 5 standard-cell library."""
+
+import itertools
+
+import pytest
+
+from repro.ising.cells import (
+    CELL_LIBRARY,
+    CHAIN_COUPLING,
+    cell_hamiltonian,
+    pin_hamiltonian,
+    wire_hamiltonian,
+)
+from repro.ising.model import SPIN_FALSE, SPIN_TRUE
+
+ALL_CELLS = sorted(CELL_LIBRARY)
+
+
+def test_library_covers_the_paper_cell_set():
+    expected = {
+        "NOT", "AND", "OR", "NAND", "NOR", "XOR", "XNOR", "MUX",
+        "AOI3", "OAI3", "AOI4", "OAI4", "DFF_P", "DFF_N",
+    }
+    assert set(CELL_LIBRARY) == expected
+
+
+@pytest.mark.parametrize("name", ALL_CELLS)
+def test_cell_ground_states_match_truth_table(name):
+    """The defining property: H minimized exactly on valid rows."""
+    assert CELL_LIBRARY[name].verify()
+
+
+@pytest.mark.parametrize("name", ALL_CELLS)
+def test_cell_ground_energy_is_uniform_across_valid_rows(name):
+    spec = CELL_LIBRARY[name]
+    model = spec.hamiltonian()
+    energies = set()
+    for row in spec.valid_rows():
+        best = min(
+            model.energy(
+                {**dict(zip(spec.ports, row)), **dict(zip(spec.ancillas, anc))}
+            )
+            for anc in itertools.product(
+                (SPIN_FALSE, SPIN_TRUE), repeat=len(spec.ancillas)
+            )
+        ) if spec.ancillas else model.energy(dict(zip(spec.ports, row)))
+        energies.add(round(best, 9))
+    assert len(energies) == 1
+
+
+@pytest.mark.parametrize(
+    "name,expected_ancillas",
+    [("NOT", 0), ("AND", 0), ("OR", 0), ("NAND", 0), ("NOR", 0),
+     ("XOR", 1), ("XNOR", 1), ("MUX", 1), ("AOI3", 1), ("OAI3", 1),
+     ("AOI4", 2), ("OAI4", 2), ("DFF_P", 0), ("DFF_N", 0)],
+)
+def test_ancilla_counts_match_table5(name, expected_ancillas):
+    assert len(CELL_LIBRARY[name].ancillas) == expected_ancillas
+
+
+def test_and_coefficients_match_paper():
+    """Spot-check Table 5's AND row verbatim."""
+    spec = CELL_LIBRARY["AND"]
+    model = spec.hamiltonian()
+    assert model.get_linear("A") == pytest.approx(-0.5)
+    assert model.get_linear("B") == pytest.approx(-0.5)
+    assert model.get_linear("Y") == pytest.approx(1.0)
+    assert model.get_interaction("A", "B") == pytest.approx(0.5)
+    assert model.get_interaction("A", "Y") == pytest.approx(-1.0)
+    assert model.get_interaction("B", "Y") == pytest.approx(-1.0)
+
+
+def test_or_matches_listing2_excerpt():
+    """Listing 2 prints the OR macro: A 0.5 / B 0.5 / Y -1 / ..."""
+    model = CELL_LIBRARY["OR"].hamiltonian()
+    assert model.get_linear("A") == pytest.approx(0.5)
+    assert model.get_linear("B") == pytest.approx(0.5)
+    assert model.get_linear("Y") == pytest.approx(-1.0)
+    assert model.get_interaction("A", "B") == pytest.approx(0.5)
+    assert model.get_interaction("A", "Y") == pytest.approx(-1.0)
+    assert model.get_interaction("B", "Y") == pytest.approx(-1.0)
+
+
+def test_not_is_single_coupler():
+    """Table 5: H_not = sigma_A sigma_Y, nothing else."""
+    model = CELL_LIBRARY["NOT"].hamiltonian()
+    assert model.get_interaction("A", "Y") == pytest.approx(1.0)
+    assert all(bias == 0 for bias in model.linear.values())
+
+
+def test_dff_is_ferromagnetic_coupler():
+    """Table 5 and Section 4.3.3: H_DFF = -sigma_Q sigma_D."""
+    for name in ("DFF_P", "DFF_N"):
+        model = CELL_LIBRARY[name].hamiltonian()
+        assert model.get_interaction("D", "Q") == pytest.approx(-1.0)
+        assert CELL_LIBRARY[name].is_sequential
+
+
+def test_xor_ground_energy_and_gap():
+    spec = CELL_LIBRARY["XOR"]
+    model = spec.hamiltonian()
+    ground, states = model.ground_states()
+    assert ground == pytest.approx(-2.0)
+    # 4 valid rows, each with exactly one ancilla value achieving ground.
+    assert len(states) == 4
+
+
+def test_cell_functions_are_correct_logic():
+    spec = CELL_LIBRARY["AOI4"]
+    assert spec.function(True, True, False, False) is False
+    assert spec.function(False, False, False, False) is True
+    assert spec.function(False, True, True, True) is False
+    spec = CELL_LIBRARY["OAI3"]
+    assert spec.function(True, False, True) is False
+    assert spec.function(False, False, True) is True
+    assert spec.function(True, True, False) is True
+
+
+def test_mux_selects_b_when_s_true():
+    spec = CELL_LIBRARY["MUX"]
+    assert spec.function(True, False, True) is True  # S=1 -> B
+    assert spec.function(False, False, True) is False  # S=0 -> A
+    assert spec.inputs == ("S", "A", "B")
+
+
+# ----------------------------------------------------------------------
+# Instantiation helpers
+# ----------------------------------------------------------------------
+def test_cell_hamiltonian_prefixing():
+    model = cell_hamiltonian("AND", "u1.")
+    assert "u1.Y" in model and "u1.A" in model
+    assert model.get_interaction("u1.A", "u1.Y") == pytest.approx(-1.0)
+
+
+def test_cell_hamiltonian_without_prefix_matches_spec():
+    assert cell_hamiltonian("OR") == CELL_LIBRARY["OR"].hamiltonian()
+
+
+def test_wire_hamiltonian_table1():
+    """Table 1: H = -sigma_A sigma_Y minimized exactly when A == Y."""
+    model = wire_hamiltonian("A", "Y")
+    assert model.get_interaction("A", "Y") == pytest.approx(CHAIN_COUPLING)
+    _, states = model.ground_states()
+    assert all(s["A"] == s["Y"] for s in states)
+    assert len(states) == 2
+
+
+def test_wire_strength_magnitude_only():
+    model = wire_hamiltonian("A", "Y", strength=-3.0)
+    assert model.get_interaction("A", "Y") == pytest.approx(-3.0)
+
+
+def test_pin_hamiltonian_vcc_gnd():
+    """Section 4.3.4: H_GND = +sigma, H_VCC = -sigma."""
+    vcc = pin_hamiltonian("x", True)
+    gnd = pin_hamiltonian("x", False)
+    assert vcc.energy({"x": SPIN_TRUE}) < vcc.energy({"x": SPIN_FALSE})
+    assert gnd.energy({"x": SPIN_FALSE}) < gnd.energy({"x": SPIN_TRUE})
+
+
+def test_three_input_and_composition():
+    """Section 4.3.5: two ANDs + a wire compose into a 3-input AND."""
+    model = cell_hamiltonian("AND", "g1.")  # Y = m AND C
+    model.update(cell_hamiltonian("AND", "g2."))  # n = A AND B
+    model.update(wire_hamiltonian("g1.A", "g2.Y"))  # m = n
+    _, states = model.ground_states()
+    for state in states:
+        y = state["g1.Y"] == SPIN_TRUE
+        a = state["g2.A"] == SPIN_TRUE
+        b = state["g2.B"] == SPIN_TRUE
+        c = state["g1.B"] == SPIN_TRUE
+        assert y == (a and b and c)
+    # All 8 input combinations appear among the ground states.
+    inputs = {(s["g2.A"], s["g2.B"], s["g1.B"]) for s in states}
+    assert len(inputs) == 8
+
+
+def test_argument_passing_forward_and_backward():
+    """Section 4.3.6: pin inputs -> forced output; pin output -> inputs."""
+    forward = cell_hamiltonian("AND")
+    forward.update(pin_hamiltonian("A", True))
+    forward.update(pin_hamiltonian("B", False))
+    _, states = forward.ground_states()
+    assert all(s["Y"] == SPIN_FALSE for s in states)
+
+    backward = cell_hamiltonian("AND")
+    backward.update(pin_hamiltonian("Y", True))
+    _, states = backward.ground_states()
+    assert states == [{"Y": SPIN_TRUE, "A": SPIN_TRUE, "B": SPIN_TRUE}]

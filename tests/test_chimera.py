@@ -1,0 +1,132 @@
+"""Tests for the Chimera hardware graph (Section 2, Figure 1)."""
+
+import networkx as nx
+import pytest
+
+from repro.hardware.chimera import (
+    ChimeraCoordinates,
+    DWAVE_2000Q_CELLS,
+    chimera_graph,
+    dropout,
+    is_chimera_edge,
+    odd_cycles_absent,
+)
+
+
+def test_c16_is_the_2000q():
+    graph = chimera_graph(DWAVE_2000Q_CELLS)
+    assert graph.number_of_nodes() == 2048  # "a nominal 2048 qubits"
+    # Edges: 16 per cell internally (K44) + inter-cell links.
+    expected_edges = 16 * 16 * 16 + 2 * (16 * 15 * 4)
+    assert graph.number_of_edges() == expected_edges
+
+
+def test_unit_cell_is_complete_bipartite():
+    graph = chimera_graph(2)
+    coords = ChimeraCoordinates(2)
+    cell = coords.unit_cell(0, 0)
+    assert len(cell) == 8
+    subgraph = graph.subgraph(cell)
+    assert subgraph.number_of_edges() == 16  # K_{4,4}
+    # Within a partition there are no edges.
+    vertical = cell[:4]
+    assert graph.subgraph(vertical).number_of_edges() == 0
+
+
+def test_figure1_fragment_connectivity():
+    """Figure 1: vertical qubits couple north-south, horizontal east-west."""
+    graph = chimera_graph(2)
+    coords = ChimeraCoordinates(2)
+    # Vertical (u=0) qubit in cell (0,0) couples to same k in cell (1,0).
+    assert graph.has_edge(coords.linear((0, 0, 0, 2)), coords.linear((1, 0, 0, 2)))
+    # Horizontal (u=1) qubit couples east to cell (0,1).
+    assert graph.has_edge(coords.linear((0, 0, 1, 3)), coords.linear((0, 1, 1, 3)))
+    # But not the other orientation.
+    assert not graph.has_edge(coords.linear((0, 0, 1, 3)), coords.linear((1, 0, 1, 3)))
+    assert not graph.has_edge(coords.linear((0, 0, 0, 2)), coords.linear((0, 1, 0, 2)))
+
+
+def test_degree_bounds():
+    graph = chimera_graph(4)
+    degrees = [d for _, d in graph.degree()]
+    assert max(degrees) == 6  # 4 internal + 2 external
+    assert min(degrees) == 5  # boundary qubits lose one external link
+
+
+def test_no_odd_cycles():
+    """Section 4.4: Chimera contains no odd-length cycles (bipartite),
+    which is why most Table 5 cells cannot embed directly."""
+    assert odd_cycles_absent(chimera_graph(3))
+
+
+def test_coordinate_linear_roundtrip():
+    coords = ChimeraCoordinates(4)
+    for index in range(4 * 4 * 8):
+        assert coords.linear(coords.coordinate(index)) == index
+
+
+def test_coordinate_validation():
+    coords = ChimeraCoordinates(2)
+    with pytest.raises(ValueError):
+        coords.linear((2, 0, 0, 0))
+    with pytest.raises(ValueError):
+        coords.linear((0, 0, 2, 0))
+    with pytest.raises(ValueError):
+        coords.coordinate(999)
+
+
+def test_node_attributes_store_coordinates():
+    graph = chimera_graph(2)
+    coords = ChimeraCoordinates(2)
+    for node, data in graph.nodes(data=True):
+        assert coords.linear(data["chimera_coordinate"]) == node
+
+
+def test_rectangular_chimera():
+    graph = chimera_graph(2, 3)
+    assert graph.number_of_nodes() == 2 * 3 * 8
+
+
+def test_chimera_is_connected():
+    assert nx.is_connected(chimera_graph(4))
+
+
+# ----------------------------------------------------------------------
+# Dropout
+# ----------------------------------------------------------------------
+def test_dropout_fraction():
+    graph = chimera_graph(4)
+    working = dropout(graph, fraction=0.1, seed=0)
+    assert working.number_of_nodes() == round(0.9 * graph.number_of_nodes())
+
+
+def test_dropout_exact_count():
+    graph = chimera_graph(2)
+    working = dropout(graph, num_qubits=3, seed=1)
+    assert working.number_of_nodes() == graph.number_of_nodes() - 3
+
+
+def test_dropout_is_reproducible():
+    graph = chimera_graph(3)
+    a = dropout(graph, fraction=0.05, seed=7)
+    b = dropout(graph, fraction=0.05, seed=7)
+    assert set(a.nodes()) == set(b.nodes())
+
+
+def test_dropout_does_not_mutate_original():
+    graph = chimera_graph(2)
+    before = graph.number_of_nodes()
+    dropout(graph, fraction=0.5, seed=0)
+    assert graph.number_of_nodes() == before
+
+
+def test_dropout_validation():
+    graph = chimera_graph(1)
+    with pytest.raises(ValueError):
+        dropout(graph, num_qubits=9)
+
+
+def test_is_chimera_edge():
+    graph = chimera_graph(1)
+    assert is_chimera_edge(graph, 0, 4)
+    assert not is_chimera_edge(graph, 0, 1)

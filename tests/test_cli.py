@@ -1,0 +1,103 @@
+"""Tests for the verilog2qmasm command-line interface."""
+
+import pytest
+
+from repro.core.cli import main
+from tests.conftest import FIGURE_2A, LISTING_5_CIRCSAT
+
+
+@pytest.fixture()
+def verilog_file(tmp_path):
+    path = tmp_path / "circuit.v"
+    path.write_text(FIGURE_2A)
+    return str(path)
+
+
+def test_emit_qmasm_default(verilog_file, capsys):
+    assert main([verilog_file]) == 0
+    out = capsys.readouterr().out
+    assert "!include <stdcell>" in out
+    assert "!use_macro" in out
+
+
+def test_emit_edif(verilog_file, capsys):
+    assert main([verilog_file, "--emit", "edif"]) == 0
+    assert "(edif" in capsys.readouterr().out
+
+
+def test_emit_stats(verilog_file, capsys):
+    assert main([verilog_file, "--emit", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "logical variables" in out
+    assert "Verilog lines     : 5" in out
+
+
+def test_emit_qubo(verilog_file, capsys):
+    assert main([verilog_file, "--emit", "qubo"]) == 0
+    out = capsys.readouterr().out
+    assert out.splitlines()[0].startswith("c ")
+    assert any(line.startswith("p qubo") for line in out.splitlines())
+    from repro.qmasm.qubo_format import read_qubo_file
+
+    model = read_qubo_file(out)
+    assert len(model) > 5
+
+
+def test_run_forward(verilog_file, capsys):
+    code = main(
+        [
+            verilog_file, "--run", "--solver", "exact", "--seed", "0",
+            "--pin", "s := 1", "--pin", "a := 1", "--pin", "b := 1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Solution #1" in out
+    assert "c[1] = 1" in out
+    assert "c[0] = 0" in out
+
+
+def test_run_backward(tmp_path, capsys):
+    path = tmp_path / "circsat.v"
+    path.write_text(LISTING_5_CIRCSAT)
+    code = main(
+        [str(path), "--run", "--solver", "exact", "--seed", "0",
+         "--pin", "y := true"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "a = 1" in out and "b = 1" in out and "c = 0" in out
+
+
+def test_roof_duality_flag(verilog_file, capsys):
+    code = main(
+        [
+            verilog_file, "--run", "--solver", "exact", "-O",
+            "--pin", "s := 1", "--pin", "a := 1", "--pin", "b := 1",
+        ]
+    )
+    assert code == 0
+
+
+def test_bad_source_reports_error(tmp_path, capsys):
+    path = tmp_path / "broken.v"
+    path.write_text("module broken (x; endmodule")
+    assert main([str(path)]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_stdin_input(monkeypatch, capsys):
+    import io
+
+    monkeypatch.setattr("sys.stdin", io.StringIO(FIGURE_2A))
+    assert main(["-"]) == 0
+    assert "!use_macro" in capsys.readouterr().out
+
+
+def test_sequential_needs_steps(tmp_path, capsys):
+    from tests.conftest import LISTING_3_COUNTER
+
+    path = tmp_path / "count.v"
+    path.write_text(LISTING_3_COUNTER)
+    assert main([str(path)]) == 1
+    assert main([str(path), "--steps", "2"]) == 0

@@ -1,0 +1,237 @@
+"""Tests for the CSP solver (the MiniZinc/Chuffed stand-in of §6.2)."""
+
+import pytest
+
+from repro.solvers.csp import CSPError, CSPModel, CSPSolver, parse_minizinc
+from tests.conftest import (
+    AUSTRALIA_ADJACENT,
+    AUSTRALIA_REGIONS,
+    LISTING_8_MINIZINC,
+)
+
+
+def _australia_model() -> CSPModel:
+    model = CSPModel()
+    for region in AUSTRALIA_REGIONS:
+        model.add_variable(region, range(1, 5))
+    for a, b in AUSTRALIA_ADJACENT:
+        model.not_equal(a, b)
+    return model
+
+
+# ----------------------------------------------------------------------
+# Model construction
+# ----------------------------------------------------------------------
+def test_duplicate_variable_rejected():
+    model = CSPModel()
+    model.add_variable("x", [1, 2])
+    with pytest.raises(CSPError):
+        model.add_variable("x", [1])
+
+
+def test_empty_domain_rejected():
+    model = CSPModel()
+    with pytest.raises(CSPError):
+        model.add_variable("x", [])
+
+
+def test_constraint_unknown_variable_rejected():
+    model = CSPModel()
+    model.add_variable("x", [1])
+    with pytest.raises(CSPError):
+        model.add_constraint(["x", "y"], lambda a, b: a == b)
+
+
+def test_is_satisfied_requires_complete_assignment():
+    model = CSPModel()
+    model.add_variable("x", [1, 2])
+    model.add_variable("y", [1, 2])
+    model.not_equal("x", "y")
+    assert not model.is_satisfied({"x": 1})
+    assert model.is_satisfied({"x": 1, "y": 2})
+    assert not model.is_satisfied({"x": 1, "y": 1})
+
+
+# ----------------------------------------------------------------------
+# Solving
+# ----------------------------------------------------------------------
+def test_australia_solution_is_valid():
+    model = _australia_model()
+    solution = CSPSolver().solve(model)
+    assert solution is not None
+    assert model.is_satisfied(solution)
+
+
+def test_australia_solution_count():
+    """The Australia adjacency graph has exactly 576 proper 4-colorings
+    (chromatic polynomial evaluated at k=4)."""
+    assert CSPSolver().count_solutions(_australia_model()) == 576
+
+
+def test_solver_is_deterministic():
+    model_a, model_b = _australia_model(), _australia_model()
+    assert CSPSolver().solve(model_a) == CSPSolver().solve(model_b)
+
+
+def test_unsatisfiable_returns_none():
+    model = CSPModel()
+    model.add_variable("x", [1, 2])
+    model.add_variable("y", [1, 2])
+    model.add_variable("z", [1, 2])
+    model.all_different(["x", "y", "z"])  # 3 vars, 2 values: impossible
+    assert CSPSolver().solve(model) is None
+
+
+def test_all_different_pigeonhole_boundary():
+    model = CSPModel()
+    for name in "abc":
+        model.add_variable(name, [1, 2, 3])
+    model.all_different(["a", "b", "c"])
+    assert CSPSolver().count_solutions(model) == 6  # 3! permutations
+
+
+def test_nary_constraint():
+    model = CSPModel()
+    for name in "abc":
+        model.add_variable(name, range(0, 5))
+    model.add_constraint(["a", "b", "c"], lambda a, b, c: a + b + c == 4)
+    solutions = CSPSolver().solve_all(model)
+    assert all(s["a"] + s["b"] + s["c"] == 4 for s in solutions)
+    assert len(solutions) == 15  # compositions of 4 into 3 parts in [0,4]
+
+
+def test_solve_all_limit():
+    model = _australia_model()
+    assert len(CSPSolver().solve_all(model, limit=10)) == 10
+
+
+def test_ac3_prunes_unary_reductions():
+    model = CSPModel()
+    model.add_variable("x", [1, 2, 3])
+    model.add_variable("y", [3])
+    model.not_equal("x", "y")
+    solutions = CSPSolver().solve_all(model)
+    assert {s["x"] for s in solutions} == {1, 2}
+
+
+# ----------------------------------------------------------------------
+# MiniZinc subset parser
+# ----------------------------------------------------------------------
+def test_parse_listing8_verbatim():
+    model = parse_minizinc(LISTING_8_MINIZINC)
+    assert set(model.domains) == set(AUSTRALIA_REGIONS)
+    assert all(model.domains[r] == list(range(1, 5)) for r in AUSTRALIA_REGIONS)
+    assert len(model.constraints) == 10
+    solution = CSPSolver().solve(model)
+    assert model.is_satisfied(solution)
+
+
+def test_parse_listing8_matches_handbuilt_model():
+    parsed = parse_minizinc(LISTING_8_MINIZINC)
+    handbuilt = _australia_model()
+    assert CSPSolver().count_solutions(parsed) == CSPSolver().count_solutions(
+        handbuilt
+    )
+
+
+def test_parse_comments_and_blank_lines():
+    model = parse_minizinc("% header\n\nvar 1..2: x; % trailing\nsolve satisfy;\n")
+    assert model.domains == {"x": [1, 2]}
+
+
+def test_parse_constant_comparisons():
+    model = parse_minizinc("var 1..5: x;\nconstraint x >= 3;\nconstraint 5 > x;")
+    values = {s["x"] for s in CSPSolver().solve_all(model)}
+    assert values == {3, 4}
+
+
+def test_parse_all_operators():
+    source = "\n".join(
+        [
+            "var 1..4: a;",
+            "var 1..4: b;",
+            "constraint a != b;",
+            "constraint a <= b;",
+            "constraint a < 4;",
+            "constraint b >= 2;",
+        ]
+    )
+    model = parse_minizinc(source)
+    for solution in CSPSolver().solve_all(model):
+        assert solution["a"] != solution["b"]
+        assert solution["a"] <= solution["b"]
+        assert solution["a"] < 4 and solution["b"] >= 2
+
+
+def test_parse_equality_forms():
+    model = parse_minizinc("var 1..3: x;\nvar 1..3: y;\nconstraint x == y;")
+    assert all(s["x"] == s["y"] for s in CSPSolver().solve_all(model))
+    model = parse_minizinc("var 1..3: x;\nvar 1..3: y;\nconstraint x = y;")
+    assert all(s["x"] == s["y"] for s in CSPSolver().solve_all(model))
+
+
+def test_parse_rejects_unsupported():
+    with pytest.raises(CSPError):
+        parse_minizinc("array[1..3] of var 1..2: xs;")
+    with pytest.raises(CSPError):
+        parse_minizinc("var 1..2: x;\nsolve minimize x;")
+    with pytest.raises(CSPError):
+        parse_minizinc("constraint 1 = 2;")
+
+
+def test_negative_ranges():
+    model = parse_minizinc("var -2..2: x;\nconstraint x < 0;")
+    assert {s["x"] for s in CSPSolver().solve_all(model)} == {-2, -1}
+
+
+# ----------------------------------------------------------------------
+# Property test: solver vs brute force on random binary CSPs
+# ----------------------------------------------------------------------
+import itertools
+import random
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_solver_matches_brute_force(seed):
+    rng = random.Random(seed)
+    num_vars = rng.randint(2, 5)
+    names = [f"v{i}" for i in range(num_vars)]
+    model = CSPModel()
+    domains = {}
+    for name in names:
+        size = rng.randint(1, 4)
+        domains[name] = list(range(size))
+        model.add_variable(name, domains[name])
+    relations = {}
+    for a, b in itertools.combinations(names, 2):
+        if rng.random() < 0.6:
+            allowed = frozenset(
+                (x, y)
+                for x in domains[a]
+                for y in domains[b]
+                if rng.random() < 0.6
+            )
+            relations[(a, b)] = allowed
+            model.add_constraint(
+                [a, b], lambda x, y, al=allowed: (x, y) in al
+            )
+
+    def brute_force_count():
+        count = 0
+        for values in itertools.product(*(domains[n] for n in names)):
+            assignment = dict(zip(names, values))
+            if all(
+                (assignment[a], assignment[b]) in allowed
+                for (a, b), allowed in relations.items()
+            ):
+                count += 1
+        return count
+
+    expected = brute_force_count()
+    solver = CSPSolver()
+    assert solver.count_solutions(model) == expected
+    solution = solver.solve(model)
+    if expected:
+        assert solution is not None and model.is_satisfied(solution)
+    else:
+        assert solution is None

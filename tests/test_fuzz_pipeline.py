@@ -1,0 +1,170 @@
+"""Differential fuzzing of the whole synthesis pipeline.
+
+Random combinational Verilog modules are compiled three ways --
+unoptimized, optimized + techmapped, and EDIF-roundtripped -- and
+simulated on every input combination.  All three must agree bit for
+bit; a disagreement pinpoints a bug in the optimizer, the techmapper,
+or the EDIF serialization.  A restricted-subset oracle (pure bitwise
+operators, where Verilog semantics are unambiguous) is additionally
+checked against Python integer semantics.
+"""
+
+import random
+
+import pytest
+
+from repro.edif.reader import read_edif
+from repro.edif.writer import write_edif
+from repro.hdl import elaborate
+from repro.synth.opt import optimize
+from repro.synth.simulate import NetlistSimulator
+from repro.synth.techmap import techmap
+
+INPUTS = [("a", 3), ("b", 3), ("c", 2), ("d", 1)]
+
+
+def _random_expression(rng: random.Random, depth: int) -> str:
+    if depth == 0 or rng.random() < 0.25:
+        choice = rng.random()
+        if choice < 0.55:
+            name, width = rng.choice(INPUTS)
+            if rng.random() < 0.3:
+                return f"{name}[{rng.randrange(width)}]"
+            return name
+        if choice < 0.8:
+            return f"{rng.randint(1, 3)}'d{rng.randrange(8)}"
+        return str(rng.randrange(8))
+    operator = rng.choice(
+        ["+", "-", "*", "&", "|", "^", "<", "<=", ">", ">=", "==", "!=",
+         "&&", "||", "<<", ">>"]
+    )
+    left = _random_expression(rng, depth - 1)
+    right = _random_expression(rng, depth - 1)
+    if rng.random() < 0.15:
+        return f"(~({left}))"
+    if rng.random() < 0.1:
+        cond = _random_expression(rng, 0)
+        return f"(({cond}) ? ({left}) : ({right}))"
+    return f"(({left}) {operator} ({right}))"
+
+
+def _random_module(seed: int) -> str:
+    rng = random.Random(seed)
+    expressions = [
+        _random_expression(rng, rng.randint(1, 3)) for _ in range(3)
+    ]
+    declarations = "\n".join(
+        f"    input [{width - 1}:0] {name};" for name, width in INPUTS
+    )
+    assigns = "\n".join(
+        f"    assign y{i} = {expr};" for i, expr in enumerate(expressions)
+    )
+    outputs = "\n".join(f"    output [3:0] y{i};" for i in range(3))
+    ports = ", ".join([name for name, _ in INPUTS] + [f"y{i}" for i in range(3)])
+    return (
+        f"module fuzz ({ports});\n{declarations}\n{outputs}\n{assigns}\n"
+        "endmodule\n"
+    )
+
+
+def _all_inputs():
+    total = sum(width for _, width in INPUTS)
+    for value in range(1 << total):
+        inputs, shift = {}, 0
+        for name, width in INPUTS:
+            inputs[name] = (value >> shift) & ((1 << width) - 1)
+            shift += width
+        yield inputs
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_three_way_differential(seed):
+    source = _random_module(seed)
+    raw = elaborate(source)
+    optimized = techmap(optimize(raw))
+    roundtripped = read_edif(write_edif(optimized))
+
+    sims = [NetlistSimulator(n) for n in (raw, optimized, roundtripped)]
+    for inputs in _all_inputs():
+        results = [sim.evaluate(inputs) for sim in sims]
+        assert results[0] == results[1] == results[2], (seed, inputs, source)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_bitwise_subset_against_python(seed):
+    """Pure bitwise ops on equal widths: unambiguous semantics."""
+    rng = random.Random(seed + 1000)
+
+    def expr(depth):
+        if depth == 0:
+            return rng.choice(["a", "b", "x"])
+        op = rng.choice(["&", "|", "^"])
+        if rng.random() < 0.2:
+            return f"(~({expr(depth - 1)}))"
+        return f"(({expr(depth - 1)}) {op} ({expr(depth - 1)}))"
+
+    body = expr(3)
+    source = (
+        "module bits (a, b, x, y);\n"
+        "    input [3:0] a, b, x;\n"
+        "    output [3:0] y;\n"
+        f"    assign y = {body};\n"
+        "endmodule\n"
+    )
+    sim = NetlistSimulator(techmap(optimize(elaborate(source))))
+    python_expr = body.replace("~", "~")
+    for a in range(0, 16, 3):
+        for b in range(0, 16, 5):
+            for x in range(0, 16, 7):
+                expected = eval(python_expr, {}, {"a": a, "b": b, "x": x}) & 0xF
+                assert sim.evaluate({"a": a, "b": b, "x": x})["y"] == expected
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fuzz_qmasm_ground_truth(seed):
+    """For tiny fuzzed circuits, the Hamiltonian's ground states must be
+    exactly the circuit's truth table -- the end-to-end semantic check."""
+    rng = random.Random(seed + 2000)
+
+    def expr(depth):
+        if depth == 0:
+            return rng.choice(["p", "q", "r"])
+        op = rng.choice(["&", "|", "^"])
+        if rng.random() < 0.25:
+            return f"(~({expr(depth - 1)}))"
+        return f"(({expr(depth - 1)}) {op} ({expr(depth - 1)}))"
+
+    body = expr(2)
+    source = (
+        "module tiny (p, q, r, y);\n"
+        "    input p, q, r;\n"
+        "    output y;\n"
+        f"    assign y = {body};\n"
+        "endmodule\n"
+    )
+    from repro.edif2qmasm.translate import netlist_to_qmasm
+    from repro.ising.model import spin_to_bool
+    from repro.qmasm.assembler import assemble
+    from repro.qmasm.parser import parse_qmasm
+    from repro.solvers.exact import ExactSolver
+
+    netlist = techmap(optimize(elaborate(source)))
+    simulator = NetlistSimulator(netlist)
+    logical = assemble(parse_qmasm(netlist_to_qmasm(netlist)))
+    model, representative = logical.to_ising()
+    if len(model) > 18:
+        pytest.skip("fuzzed model too large for exhaustive enumeration")
+    ground = ExactSolver(max_variables=18).ground_states(model)
+
+    observed = set()
+    for sample in ground:
+        full = logical.expand_sample(sample.assignment, representative)
+        observed.add(
+            tuple(spin_to_bool(full[n]) for n in ("p", "q", "r", "y"))
+        )
+    expected = {
+        (bool(p), bool(q), bool(r),
+         bool(simulator.evaluate({"p": p, "q": q, "r": r})["y"]))
+        for p in (0, 1) for q in (0, 1) for r in (0, 1)
+    }
+    assert observed == expected, source

@@ -1,0 +1,162 @@
+"""Tests for the gate-level netlist IR."""
+
+import pytest
+
+from repro.synth.netlist import Netlist, NetlistError, PortDirection
+
+
+def _and_netlist():
+    nl = Netlist("top")
+    a, b, y = nl.new_net(), nl.new_net(), nl.new_net()
+    nl.add_port("a", PortDirection.INPUT, [a])
+    nl.add_port("b", PortDirection.INPUT, [b])
+    nl.add_port("y", PortDirection.OUTPUT, [y])
+    nl.add_cell("AND", {"A": a, "B": b, "Y": y}, name="g0")
+    return nl
+
+
+def test_basic_construction():
+    nl = _and_netlist()
+    nl.validate()
+    assert nl.num_cells() == 1
+    assert nl.num_cells("AND") == 1
+    assert nl.num_cells("OR") == 0
+    assert len(nl.inputs()) == 2
+    assert len(nl.outputs()) == 1
+
+
+def test_new_nets_are_unique():
+    nl = Netlist("t")
+    nets = nl.new_nets(100)
+    assert len(set(nets)) == 100
+
+
+def test_duplicate_port_rejected():
+    nl = _and_netlist()
+    with pytest.raises(NetlistError):
+        nl.add_port("a", PortDirection.INPUT, [nl.new_net()])
+
+
+def test_unknown_cell_kind_rejected():
+    nl = Netlist("t")
+    with pytest.raises(NetlistError):
+        nl.add_cell("FROB", {"Y": nl.new_net()})
+
+
+def test_wrong_ports_rejected():
+    nl = Netlist("t")
+    with pytest.raises(NetlistError):
+        nl.add_cell("AND", {"A": nl.new_net(), "Y": nl.new_net()})
+    with pytest.raises(NetlistError):
+        nl.add_cell("GND", {"A": nl.new_net()})
+
+
+def test_duplicate_cell_name_rejected():
+    nl = _and_netlist()
+    with pytest.raises(NetlistError):
+        nl.add_cell(
+            "NOT", {"A": nl.new_net(), "Y": nl.new_net()}, name="g0"
+        )
+
+
+def test_cell_accessors():
+    nl = _and_netlist()
+    cell = nl.cells["g0"]
+    assert cell.output_port == "Y"
+    assert cell.input_ports == ("A", "B")
+    assert len(cell.input_nets) == 2
+    assert not cell.is_sequential
+
+
+def test_drivers_and_sinks():
+    nl = _and_netlist()
+    drivers = nl.drivers()
+    cell = nl.cells["g0"]
+    assert drivers[cell.output_net] == ("g0", "Y")
+    sinks = nl.sinks()
+    a_net = nl.ports["a"].bits[0]
+    assert ("g0", "A") in sinks[a_net]
+
+
+def test_multiple_drivers_detected():
+    nl = Netlist("t")
+    a, y = nl.new_net(), nl.new_net()
+    nl.add_port("a", PortDirection.INPUT, [a])
+    nl.add_cell("NOT", {"A": a, "Y": y})
+    nl.add_cell("NOT", {"A": a, "Y": y})  # second driver of y
+    with pytest.raises(NetlistError):
+        nl.drivers()
+
+
+def test_validate_catches_undriven_input():
+    nl = Netlist("t")
+    floating = nl.new_net()
+    y = nl.new_net()
+    nl.add_port("y", PortDirection.OUTPUT, [y])
+    nl.add_cell("NOT", {"A": floating, "Y": y})
+    with pytest.raises(NetlistError):
+        nl.validate()
+
+
+def test_validate_catches_undriven_output():
+    nl = Netlist("t")
+    nl.add_port("y", PortDirection.OUTPUT, [nl.new_net()])
+    with pytest.raises(NetlistError):
+        nl.validate()
+
+
+def test_topological_order_respects_dependencies():
+    nl = Netlist("t")
+    a = nl.new_net()
+    nl.add_port("a", PortDirection.INPUT, [a])
+    n1, n2 = nl.new_net(), nl.new_net()
+    # Add in reverse dependency order on purpose.
+    second = nl.add_cell("NOT", {"A": n1, "Y": n2}, name="second")
+    first = nl.add_cell("NOT", {"A": a, "Y": n1}, name="first")
+    nl.add_port("y", PortDirection.OUTPUT, [n2])
+    order = [c.name for c in nl.topological_cells()]
+    assert order.index("first") < order.index("second")
+
+
+def test_combinational_cycle_detected():
+    nl = Netlist("t")
+    n1, n2 = nl.new_net(), nl.new_net()
+    nl.add_cell("NOT", {"A": n1, "Y": n2})
+    nl.add_cell("NOT", {"A": n2, "Y": n1})
+    with pytest.raises(NetlistError):
+        nl.topological_cells()
+
+
+def test_dff_breaks_cycles():
+    """A feedback loop through a flip-flop is sequential, not cyclic."""
+    nl = Netlist("t")
+    q, d = nl.new_net(), nl.new_net()
+    nl.add_cell("NOT", {"A": q, "Y": d})
+    nl.add_cell("DFF_P", {"D": d, "Q": q})
+    order = nl.topological_cells()  # must not raise
+    assert len(order) == 2
+    assert nl.has_sequential()
+
+
+def test_cell_histogram():
+    nl = _and_netlist()
+    nl.add_cell("NOT", {"A": nl.ports["a"].bits[0], "Y": nl.new_net()})
+    nl.add_cell("NOT", {"A": nl.ports["b"].bits[0], "Y": nl.new_net()})
+    assert nl.cell_histogram() == {"AND": 1, "NOT": 2}
+
+
+def test_net_naming():
+    nl = _and_netlist()
+    nl.name_net("internal", [5, 6])
+    assert nl.net_names["internal"] == [5, 6]
+    assert nl.net_names["a"] == nl.ports["a"].bits
+
+
+def test_constant_cells():
+    nl = Netlist("t")
+    g = nl.new_net()
+    cell = nl.add_cell("GND", {"Y": g})
+    assert cell.output_port == "Y"
+    assert cell.input_ports == ()
+    nl.add_port("y", PortDirection.OUTPUT, [g])
+    nl.validate()

@@ -1,0 +1,158 @@
+"""Tests for the penalty-model synthesizer (Section 4.3.2, Tables 2-4)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ising.model import SPIN_FALSE, SPIN_TRUE
+from repro.ising.penalty import (
+    PenaltySynthesisError,
+    synthesize_penalty,
+    truth_table_of,
+    verify_penalty,
+)
+
+#: All 16 two-input Boolean functions, keyed by their truth vector
+#: (f(0,0), f(0,1), f(1,0), f(1,1)).
+ALL_2IN_FUNCTIONS = {
+    bits: (lambda a, b, bits=bits: bool(bits[(int(a) << 1) | int(b)]))
+    for bits in itertools.product((0, 1), repeat=4)
+}
+
+
+def test_truth_table_of_lists_output_first():
+    rows = truth_table_of(lambda a, b: a and b, 2)
+    assert (True, True, True) in rows
+    assert (False, False, True) in rows
+    assert len(rows) == 4
+
+
+def test_and_without_ancillas():
+    """Table 2: the AND system of inequalities is feasible as-is."""
+    rows = truth_table_of(lambda a, b: a and b, 2)
+    penalty = synthesize_penalty(rows, ["Y", "A", "B"], max_ancillas=0)
+    assert not penalty.ancillas
+    assert verify_penalty(penalty, rows)
+    assert penalty.gap > 0
+
+
+def test_and_gap_is_maximized():
+    """The LP maximizes the gap; with |h|<=2, |J|<=1 AND reaches gap 2."""
+    rows = truth_table_of(lambda a, b: a and b, 2)
+    penalty = synthesize_penalty(rows, ["Y", "A", "B"], max_ancillas=0)
+    assert penalty.gap == pytest.approx(2.0, abs=1e-6)
+
+
+@pytest.mark.parametrize("name", ["xor", "xnor"])
+def test_xor_xnor_infeasible_without_ancilla(name):
+    """The paper: 'only XOR and XNOR lead to an unsolvable system'."""
+    func = (lambda a, b: a != b) if name == "xor" else (lambda a, b: a == b)
+    rows = truth_table_of(func, 2)
+    with pytest.raises(PenaltySynthesisError):
+        synthesize_penalty(rows, ["Y", "A", "B"], max_ancillas=0)
+
+
+@pytest.mark.parametrize("name", ["xor", "xnor"])
+def test_xor_xnor_need_exactly_one_ancilla(name):
+    """Table 3: a single ancilla makes the XOR system solvable."""
+    func = (lambda a, b: a != b) if name == "xor" else (lambda a, b: a == b)
+    rows = truth_table_of(func, 2)
+    penalty = synthesize_penalty(rows, ["Y", "A", "B"], max_ancillas=1)
+    assert len(penalty.ancillas) == 1
+    assert verify_penalty(penalty, rows)
+
+
+def test_all_sixteen_two_input_functions():
+    """Every 2-input function gets a working penalty within one ancilla,
+    and only XOR/XNOR (truth vectors 0110 and 1001) need the ancilla."""
+    for bits, func in ALL_2IN_FUNCTIONS.items():
+        rows = truth_table_of(func, 2)
+        penalty = synthesize_penalty(rows, ["Y", "A", "B"], max_ancillas=1)
+        assert verify_penalty(penalty, rows), f"function {bits} failed"
+        needs_ancilla = bits in ((0, 1, 1, 0), (1, 0, 0, 1))
+        assert bool(penalty.ancillas) == needs_ancilla, f"function {bits}"
+
+
+def test_three_input_majority():
+    rows = truth_table_of(lambda a, b, c: (a + b + c) >= 2, 3)
+    penalty = synthesize_penalty(rows, ["Y", "A", "B", "C"], max_ancillas=1)
+    assert verify_penalty(penalty, rows)
+
+
+def test_mux_synthesis():
+    rows = truth_table_of(lambda s, a, b: b if s else a, 3)
+    penalty = synthesize_penalty(rows, ["Y", "S", "A", "B"], max_ancillas=1)
+    assert verify_penalty(penalty, rows)
+
+
+def test_ground_energy_is_reported_k():
+    rows = truth_table_of(lambda a, b: a or b, 2)
+    penalty = synthesize_penalty(rows, ["Y", "A", "B"], max_ancillas=0)
+    sample = {"Y": SPIN_TRUE, "A": SPIN_TRUE, "B": SPIN_FALSE}
+    assert penalty.model.energy(sample) == pytest.approx(penalty.ground_energy)
+
+
+def test_coefficients_respect_ranges():
+    rows = truth_table_of(lambda a, b: a and b, 2)
+    penalty = synthesize_penalty(
+        rows, ["Y", "A", "B"], max_ancillas=0,
+        h_range=(-1.0, 1.0), j_range=(-0.5, 0.5),
+    )
+    for bias in penalty.model.linear.values():
+        assert -1.0 - 1e-9 <= bias <= 1.0 + 1e-9
+    for coupling in penalty.model.quadratic.values():
+        assert -0.5 - 1e-9 <= coupling <= 0.5 + 1e-9
+
+
+def test_tight_ranges_shrink_gap():
+    rows = truth_table_of(lambda a, b: a and b, 2)
+    wide = synthesize_penalty(rows, ["Y", "A", "B"], max_ancillas=0)
+    narrow = synthesize_penalty(
+        rows, ["Y", "A", "B"], max_ancillas=0,
+        h_range=(-1.0, 1.0), j_range=(-0.5, 0.5),
+    )
+    assert narrow.gap < wide.gap
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        synthesize_penalty([], ["Y"], max_ancillas=0)
+    with pytest.raises(ValueError):
+        synthesize_penalty([(True,), (True,)], ["Y"], max_ancillas=0)
+    with pytest.raises(ValueError):
+        synthesize_penalty([(True, False, True)], ["Y"], max_ancillas=0)
+    with pytest.raises(ValueError):
+        synthesize_penalty([(2,)], ["Y"], max_ancillas=0)
+
+
+def test_accepts_spin_and_bool_rows():
+    bool_version = synthesize_penalty(
+        [(True, True), (False, False)], ["Y", "A"], max_ancillas=0
+    )
+    spin_version = synthesize_penalty(
+        [(1, 1), (-1, -1)], ["Y", "A"], max_ancillas=0
+    )
+    assert bool_version.model == spin_version.model
+
+
+def test_single_variable_pin():
+    """A one-variable 'always true' table is H_VCC up to scaling."""
+    penalty = synthesize_penalty([(True,)], ["Y"], max_ancillas=0)
+    assert penalty.model.energy({"Y": SPIN_TRUE}) < penalty.model.energy(
+        {"Y": SPIN_FALSE}
+    )
+
+
+@given(st.sets(st.integers(min_value=0, max_value=7), min_size=1, max_size=7))
+@settings(max_examples=25, deadline=None)
+def test_random_three_variable_tables(valid_indices):
+    """Any nonempty, proper subset of {0,1}^3 gets a verified penalty
+    within two ancillas (full tables are trivially verified too)."""
+    rows = [
+        tuple(bool((index >> bit) & 1) for bit in range(3))
+        for index in sorted(valid_indices)
+    ]
+    penalty = synthesize_penalty(rows, ["x", "y", "z"], max_ancillas=2)
+    assert verify_penalty(penalty, rows)

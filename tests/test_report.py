@@ -1,0 +1,78 @@
+"""Tests for the qmasm-style text reports."""
+
+import pytest
+
+from repro.core.report import (
+    format_compile_summary,
+    format_run_result,
+    format_solution,
+)
+from repro.qmasm.runner import QmasmRunner, Solution
+
+AND_PROGRAM = "!include <stdcell>\n!use_macro AND g\n"
+
+
+@pytest.fixture(scope="module")
+def and_result():
+    return QmasmRunner(seed=0).run(
+        AND_PROGRAM, pins=["g.Y := true"], solver="exact", num_reads=16
+    )
+
+
+def test_format_solution_basic():
+    solution = Solution(
+        values={"a": True, "b": False}, energy=-2.5, num_occurrences=7
+    )
+    text = format_solution(solution, rank=3)
+    assert "Solution #3" in text
+    assert "energy -2.5000" in text
+    assert "tally 7" in text
+    assert "a = 1" in text and "b = 0" in text
+
+
+def test_format_solution_flags_problems():
+    solution = Solution(
+        values={"a": True},
+        energy=0.0,
+        num_occurrences=1,
+        failed_assertions=["Y = A&B"],
+        pins_respected=False,
+    )
+    text = format_solution(solution, rank=1)
+    assert "PINS VIOLATED" in text
+    assert "FAILED ASSERTS: Y = A&B" in text
+
+
+def test_format_run_result(and_result):
+    text = format_run_result(and_result)
+    assert "solution(s)" in text
+    assert "logical variable(s)" in text
+    assert "Solution #1" in text
+    assert "g.Y = 1" in text
+
+
+def test_format_run_result_truncation(and_result):
+    text = format_run_result(and_result, max_solutions=1, valid_only=False)
+    assert "more solution(s) not shown" in text
+
+
+def test_format_run_result_includes_dwave_info():
+    from repro.solvers.machine import DWaveSimulator, MachineProperties
+
+    machine = DWaveSimulator(
+        properties=MachineProperties(cells=4, dropout_fraction=0.0), seed=0
+    )
+    result = QmasmRunner(machine=machine, seed=0).run(
+        AND_PROGRAM, solver="dwave", num_reads=10
+    )
+    text = format_run_result(result)
+    assert "QPU access time" in text
+    assert "physical qubit(s)" in text
+    assert "chain breaks" in text
+
+
+def test_format_compile_summary(figure2_program):
+    text = format_compile_summary(figure2_program)
+    assert "module 'circuit'" in text
+    assert "Verilog lines" in text
+    assert "logical variables" in text

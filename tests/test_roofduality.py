@@ -1,0 +1,128 @@
+"""Tests for roof-duality variable fixing (qubit elision, Section 4.4)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ising.cells import cell_hamiltonian, pin_hamiltonian
+from repro.ising.model import SPIN_FALSE, SPIN_TRUE, IsingModel
+from repro.ising.roofduality import (
+    fix_variables,
+    fix_variables_local,
+    fix_variables_roof,
+)
+
+
+def test_isolated_biased_variable_fixed():
+    model = IsingModel({"a": 1.5, "b": -2.0})
+    fixed = fix_variables_local(model)
+    assert fixed == {"a": SPIN_FALSE, "b": SPIN_TRUE}
+
+
+def test_local_rule_respects_coupling_budget():
+    # |h| == sum|J|: not strictly dominated, must not be fixed locally.
+    model = IsingModel({"a": 1.0}, {("a", "b"): 1.0})
+    assert "a" not in fix_variables_local(model)
+
+
+def test_local_rule_cascades():
+    # Fixing a (dominant field) folds J into b's field, which then fixes b.
+    model = IsingModel({"a": -3.0, "b": 0.5}, {("a", "b"): -1.0})
+    fixed = fix_variables_local(model)
+    assert fixed["a"] == SPIN_TRUE
+    # with a=+1, b's field is 0.5 - 1.0 = -0.5 -> b = +1
+    assert fixed["b"] == SPIN_TRUE
+
+
+def test_zero_field_variables_left_free():
+    model = IsingModel({"a": 0.0})
+    assert fix_variables_local(model) == {}
+    assert fix_variables_roof(model) == {}
+
+
+def test_roof_fixes_pinned_gate_completely():
+    """AND with both inputs pinned is fully determined a priori."""
+    model = cell_hamiltonian("AND")
+    model.update(pin_hamiltonian("A", True, strength=2.0))
+    model.update(pin_hamiltonian("B", True, strength=2.0))
+    fixed = fix_variables(model)
+    assert fixed.get("A") == SPIN_TRUE
+    assert fixed.get("B") == SPIN_TRUE
+    assert fixed.get("Y") == SPIN_TRUE
+
+
+def test_roof_chain_propagation():
+    """A pinned value propagates down a ferromagnetic chain."""
+    model = IsingModel({"x0": -5.0})
+    for i in range(5):
+        model.add_interaction(f"x{i}", f"x{i + 1}", -1.0)
+    fixed = fix_variables(model)
+    assert all(fixed.get(f"x{i}") == SPIN_TRUE for i in range(6))
+
+
+def test_roof_empty_model():
+    assert fix_variables_roof(IsingModel()) == {}
+
+
+def test_frustrated_triangle_fixes_nothing(triangle_model):
+    # Six degenerate ground states with every variable taking both
+    # values: no persistency exists.
+    assert fix_variables(triangle_model) == {}
+
+
+def test_unknown_method_rejected(triangle_model):
+    with pytest.raises(ValueError):
+        fix_variables(triangle_model, method="magic")
+
+
+def _random_model(rng: random.Random, n: int) -> IsingModel:
+    model = IsingModel()
+    for i in range(n):
+        model.add_variable(i, rng.choice([-2, -1, -0.5, 0, 0.5, 1, 2]))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < 0.5:
+                model.add_interaction(i, j, rng.choice([-1, -0.5, 0.5, 1]))
+    return model
+
+
+@pytest.mark.parametrize("method", ["local", "roof"])
+def test_weak_persistency_against_brute_force(method):
+    """Every fixing must be extendable to a global optimum."""
+    rng = random.Random(7)
+    for _ in range(60):
+        model = _random_model(rng, rng.randint(2, 7))
+        _, states = model.ground_states()
+        fixed = fix_variables(model, method=method)
+        assert any(
+            all(state[v] == spin for v, spin in fixed.items())
+            for state in states
+        ), f"fixings {fixed} not extendable ({method})"
+
+
+def test_roof_subsumes_local():
+    rng = random.Random(11)
+    for _ in range(25):
+        model = _random_model(rng, rng.randint(2, 6))
+        local = fix_variables(model, method="local")
+        roof = fix_variables(model, method="roof")
+        # Roof duality finds at least as many persistencies.
+        assert len(roof) >= len(local)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_fixing_preserves_minimum_energy(seed):
+    """Fixing the roof-duality variables never changes the optimum."""
+    model = _random_model(random.Random(seed), 6)
+    original_min, _ = model.ground_states()
+    reduced = model
+    for variable, spin in fix_variables(model).items():
+        reduced = reduced.fix_variable(variable, spin)
+    if len(reduced):
+        reduced_min, _ = reduced.ground_states()
+    else:
+        reduced_min = reduced.offset
+    assert reduced_min == pytest.approx(original_min)

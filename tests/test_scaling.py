@@ -1,0 +1,100 @@
+"""Tests for coefficient scaling and quantization (Section 2 ranges)."""
+
+import pytest
+
+from repro.hardware.scaling import (
+    H_RANGE,
+    J_RANGE,
+    check_ranges,
+    quantize,
+    scale_factor,
+    scale_to_hardware,
+)
+from repro.ising.model import IsingModel
+
+
+def test_hardware_ranges_match_paper():
+    assert H_RANGE == (-2.0, 2.0)
+    assert J_RANGE == (-2.0, 1.0)  # asymmetric: rf-SQUID coupler physics
+
+
+def test_scale_down_large_coefficients():
+    model = IsingModel({"a": 10.0}, {("a", "b"): -5.0})
+    scaled, factor = scale_to_hardware(model)
+    assert factor == pytest.approx(0.2)
+    check_ranges(scaled)
+
+
+def test_scale_up_small_coefficients():
+    """Scaling up fills the analog range (better gap vs noise floor)."""
+    model = IsingModel({"a": 0.1}, {("a", "b"): 0.05})
+    scaled, factor = scale_to_hardware(model)
+    assert factor > 1.0
+    # After scaling, at least one coefficient sits on its bound.
+    at_bound = [
+        abs(bias) == pytest.approx(2.0) for bias in scaled.linear.values()
+    ] + [
+        coupling == pytest.approx(1.0) or coupling == pytest.approx(-2.0)
+        for coupling in scaled.quadratic.values()
+    ]
+    assert any(at_bound)
+
+
+def test_asymmetric_j_range_enforced():
+    """A positive J may only reach 1.0 while negative may reach -2.0."""
+    positive = IsingModel(j={("a", "b"): 4.0})
+    scaled, factor = scale_to_hardware(positive)
+    assert scaled.get_interaction("a", "b") == pytest.approx(1.0)
+
+    negative = IsingModel(j={("a", "b"): -4.0})
+    scaled, factor = scale_to_hardware(negative)
+    assert scaled.get_interaction("a", "b") == pytest.approx(-2.0)
+
+
+def test_scaling_preserves_ground_states(triangle_model):
+    model = triangle_model
+    model.add_variable("a", 0.5)
+    scaled, _ = scale_to_hardware(model)
+    key = lambda states: {tuple(sorted(s.items())) for s in states}
+    assert key(model.ground_states()[1]) == key(scaled.ground_states()[1])
+
+
+def test_scale_factor_of_empty_model():
+    assert scale_factor(IsingModel()) == 1.0
+
+
+def test_check_ranges_raises_on_violations():
+    with pytest.raises(ValueError):
+        check_ranges(IsingModel({"a": 3.0}))
+    with pytest.raises(ValueError):
+        check_ranges(IsingModel(j={("a", "b"): 1.5}))
+    with pytest.raises(ValueError):
+        check_ranges(IsingModel(j={("a", "b"): -2.5}))
+    check_ranges(IsingModel({"a": 2.0}, {("a", "b"): -2.0}))  # at bounds: ok
+
+
+def test_quantize_rounds_to_grid():
+    model = IsingModel({"a": 1.001}, {("a", "b"): -0.502})
+    quantized = quantize(model, steps=8)  # h grid 0.5, J grid 0.375
+    assert quantized.get_linear("a") == pytest.approx(1.0)
+    assert quantized.get_interaction("a", "b") == pytest.approx(-0.375)
+
+
+def test_quantize_identity_at_high_resolution():
+    model = IsingModel({"a": 0.5}, {("a", "b"): -1.0})
+    quantized = quantize(model, steps=1 << 20)
+    assert quantized.get_linear("a") == pytest.approx(0.5, abs=1e-5)
+    assert quantized.get_interaction("a", "b") == pytest.approx(-1.0, abs=1e-5)
+
+
+def test_quantize_validation():
+    with pytest.raises(ValueError):
+        quantize(IsingModel(), steps=1)
+
+
+def test_quantize_can_flip_degenerate_order():
+    """Coarse quantization genuinely loses precision -- two close
+    coefficients can collapse onto the same grid point."""
+    model = IsingModel({"a": 0.6, "b": 1.4})
+    quantized = quantize(model, steps=4)  # grid of 1.0
+    assert quantized.get_linear("a") == quantized.get_linear("b") == pytest.approx(1.0)

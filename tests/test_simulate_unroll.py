@@ -1,0 +1,174 @@
+"""Tests for the netlist simulator and sequential time unrolling."""
+
+import pytest
+
+from repro.synth.lowering import CircuitBuilder
+from repro.synth.netlist import Netlist, NetlistError, PortDirection
+from repro.synth.simulate import NetlistSimulator, SimulationError
+from repro.synth.unroll import unroll
+
+
+def _counter_netlist(width: int = 3) -> Netlist:
+    """inc ? count+1 : count, registered; out = count."""
+    nl = Netlist("counter")
+    builder = CircuitBuilder(nl)
+    clk, inc = nl.new_net(), nl.new_net()
+    nl.add_port("clk", PortDirection.INPUT, [clk])
+    nl.add_port("inc", PortDirection.INPUT, [inc])
+    state = nl.new_nets(width)
+    one = builder.constant(1, width)
+    plus, _ = builder.add(state, one)
+    next_state = builder.mux_vec(inc, state, plus)
+    for q, d in zip(state, next_state):
+        nl.add_cell("DFF_P", {"D": d, "Q": q})
+    nl.add_port("out", PortDirection.OUTPUT, state)
+    return nl
+
+
+# ----------------------------------------------------------------------
+# Simulator
+# ----------------------------------------------------------------------
+def test_missing_input_rejected():
+    nl = _counter_netlist()
+    sim = NetlistSimulator(nl)
+    with pytest.raises(SimulationError):
+        sim.evaluate({"clk": 0})
+
+
+def test_unknown_input_rejected():
+    nl = _counter_netlist()
+    sim = NetlistSimulator(nl)
+    with pytest.raises(SimulationError):
+        sim.evaluate({"clk": 0, "inc": 0, "bogus": 1})
+
+
+def test_oversized_value_rejected():
+    nl = _counter_netlist()
+    sim = NetlistSimulator(nl)
+    with pytest.raises(SimulationError):
+        sim.evaluate({"clk": 0, "inc": 2})
+
+
+def test_negative_values_wrap():
+    nl = Netlist("t")
+    bits = nl.new_nets(4)
+    nl.add_port("x", PortDirection.INPUT, bits)
+    nl.add_port("y", PortDirection.OUTPUT, bits)
+    sim = NetlistSimulator(nl)
+    assert sim.evaluate({"x": -1})["y"] == 15
+
+
+def test_sequential_step_semantics():
+    sim = NetlistSimulator(_counter_netlist())
+    outputs = sim.run([{"clk": 0, "inc": 1}] * 4 + [{"clk": 0, "inc": 0}] * 2)
+    assert [o["out"] for o in outputs] == [0, 1, 2, 3, 4, 4]
+
+
+def test_counter_wraps_at_width():
+    sim = NetlistSimulator(_counter_netlist(width=2))
+    outputs = sim.run([{"clk": 0, "inc": 1}] * 6)
+    assert [o["out"] for o in outputs] == [0, 1, 2, 3, 0, 1]
+
+
+def test_reset_restores_initial_state():
+    sim = NetlistSimulator(_counter_netlist())
+    sim.run([{"clk": 0, "inc": 1}] * 3)
+    sim.reset()
+    assert sim.step({"clk": 0, "inc": 0})["out"] == 0
+
+
+def test_reset_to_ones():
+    sim = NetlistSimulator(_counter_netlist())
+    sim.reset(initial_state=True)
+    assert sim.step({"clk": 0, "inc": 0})["out"] == 7
+
+
+def test_evaluate_does_not_clock():
+    sim = NetlistSimulator(_counter_netlist())
+    for _ in range(3):
+        assert sim.evaluate({"clk": 0, "inc": 1})["out"] == 0  # state frozen
+
+
+# ----------------------------------------------------------------------
+# Unrolling (Section 4.3.3)
+# ----------------------------------------------------------------------
+def test_unroll_matches_step_simulation():
+    nl = _counter_netlist()
+    steps = 5
+    unrolled = unroll(nl, steps, initial_value=0)
+    assert not unrolled.has_sequential()
+
+    sequence = [1, 1, 0, 1, 1]
+    reference = NetlistSimulator(nl).run(
+        [{"clk": 0, "inc": inc} for inc in sequence]
+    )
+    flat_inputs = {f"inc@{t}": inc for t, inc in enumerate(sequence)}
+    flat = NetlistSimulator(unrolled).evaluate(flat_inputs)
+    for t in range(steps):
+        assert flat[f"out@{t}"] == reference[t]["out"]
+
+
+def test_unroll_exposes_initial_state_as_inputs():
+    nl = _counter_netlist(width=2)
+    unrolled = unroll(nl, 2, initial_value=None)
+    init_ports = [p for p in unrolled.ports if p.endswith("@init")]
+    assert len(init_ports) == 2  # one per flip-flop
+    sim = NetlistSimulator(unrolled)
+    inputs = {"inc@0": 0, "inc@1": 0}
+    inputs.update({p: 1 for p in init_ports})
+    assert sim.evaluate(inputs)["out@0"] == 3  # started from all-ones
+
+
+def test_unroll_initial_value_one():
+    unrolled = unroll(_counter_netlist(width=2), 1, initial_value=1)
+    sim = NetlistSimulator(unrolled)
+    assert sim.evaluate({"inc@0": 0})["out@0"] == 3
+
+
+def test_unroll_drops_clock_port():
+    unrolled = unroll(_counter_netlist(), 2, initial_value=0)
+    assert not any(name.startswith("clk") for name in unrolled.ports)
+
+
+def test_unroll_explicit_clock_names():
+    nl = Netlist("t")
+    tick = nl.new_net()
+    d = nl.new_net()
+    nl.add_port("tick", PortDirection.INPUT, [tick])
+    nl.add_port("d", PortDirection.INPUT, [d])
+    q = nl.new_net()
+    nl.add_cell("DFF_P", {"D": d, "Q": q})
+    nl.add_port("q", PortDirection.OUTPUT, [q])
+    unrolled = unroll(nl, 2, clock_ports=["tick"], initial_value=0)
+    assert "tick@0" not in unrolled.ports
+    assert "d@0" in unrolled.ports
+
+
+def test_unroll_cell_and_qubit_cost_grows_linearly():
+    """The paper: unrolling 'exacts a heavy toll in qubit count'."""
+    nl = _counter_netlist()
+    sizes = [unroll(nl, t, initial_value=0).num_cells() for t in (1, 2, 4)]
+    assert sizes[1] >= 2 * sizes[0] - 2
+    assert sizes[2] >= 2 * sizes[1] - 2
+
+
+def test_unroll_combinational_circuit_passthrough():
+    nl = Netlist("comb")
+    a = nl.new_net()
+    y = nl.new_net()
+    nl.add_port("a", PortDirection.INPUT, [a])
+    nl.add_cell("NOT", {"A": a, "Y": y})
+    nl.add_port("y", PortDirection.OUTPUT, [y])
+    unrolled = unroll(nl, 1)
+    sim = NetlistSimulator(unrolled)
+    assert sim.evaluate({"a@0": 1})["y@0"] == 0
+
+
+def test_unroll_validation():
+    nl = _counter_netlist()
+    with pytest.raises(NetlistError):
+        unroll(nl, 0)
+    with pytest.raises(NetlistError):
+        unroll(nl, 2, clock_ports=["nope"])
+    with pytest.raises(NetlistError):
+        unroll(nl, 2, initial_value=7)

@@ -1,0 +1,141 @@
+"""Tests for simulated quantum annealing and steepest descent."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.ising.cells import cell_hamiltonian
+from repro.ising.model import IsingModel
+from repro.solvers.exact import ExactSolver
+from repro.solvers.greedy import SteepestDescentSolver
+from repro.solvers.neal import SimulatedAnnealingSampler
+from repro.solvers.sqa import PathIntegralAnnealer
+
+
+def _random_model(seed: int, n: int) -> IsingModel:
+    rng = random.Random(seed)
+    model = IsingModel()
+    for i in range(n):
+        model.add_variable(i, rng.uniform(-1, 1))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < 0.4:
+                model.add_interaction(i, j, rng.uniform(-1, 1))
+    return model
+
+
+# ----------------------------------------------------------------------
+# Path-integral simulated quantum annealing
+# ----------------------------------------------------------------------
+def test_sqa_solves_gate_hamiltonians():
+    sqa = PathIntegralAnnealer(seed=0)
+    exact = ExactSolver()
+    for cell in ("AND", "XOR", "MUX"):
+        model = cell_hamiltonian(cell)
+        truth = exact.ground_states(model).first.energy
+        found = sqa.sample(model, num_reads=4, num_sweeps=300).first.energy
+        assert found == pytest.approx(truth)
+
+
+def test_sqa_matches_exact_on_random_models():
+    sqa = PathIntegralAnnealer(seed=1)
+    exact = ExactSolver()
+    hits = 0
+    for seed in range(4):
+        model = _random_model(seed, 10)
+        truth = exact.ground_states(model).first.energy
+        found = sqa.sample(model, num_reads=6, num_sweeps=400).first.energy
+        hits += found == pytest.approx(truth)
+    assert hits >= 3  # stochastic, but should almost always succeed
+
+
+def test_sqa_energies_consistent():
+    model = _random_model(7, 8)
+    result = PathIntegralAnnealer(seed=2).sample(model, num_reads=3, num_sweeps=100)
+    for sample in result:
+        assert model.energy(sample.assignment) == pytest.approx(sample.energy)
+
+
+def test_sqa_info_fields():
+    model = cell_hamiltonian("AND")
+    result = PathIntegralAnnealer(seed=0).sample(
+        model, num_reads=2, num_sweeps=50, trotter_slices=8, temperature=0.1
+    )
+    assert result.info["solver"] == "simulated-quantum-annealing"
+    assert result.info["trotter_slices"] == 8
+
+
+def test_sqa_parameter_validation():
+    model = cell_hamiltonian("AND")
+    sqa = PathIntegralAnnealer(seed=0)
+    with pytest.raises(ValueError):
+        sqa.sample(model, trotter_slices=1)
+    with pytest.raises(ValueError):
+        sqa.sample(model, temperature=0.0)
+    with pytest.raises(ValueError):
+        sqa.sample(model, transverse_field=(0.1, 1.0))  # ramps up: invalid
+    with pytest.raises(ValueError):
+        sqa.sample(model, transverse_field=(1.0, 0.0))  # final must be > 0
+
+
+def test_sqa_empty_model():
+    assert len(PathIntegralAnnealer(seed=0).sample(IsingModel())) == 0
+
+
+def test_sqa_via_runner():
+    from repro.qmasm.runner import QmasmRunner
+
+    result = QmasmRunner(seed=0).run(
+        "!include <stdcell>\n!use_macro AND g\n",
+        pins=["g.Y := true"],
+        solver="sqa",
+        num_reads=4,
+    )
+    best = result.valid_solutions[0]
+    assert best.values == {"g.A": True, "g.B": True, "g.Y": True}
+
+
+# ----------------------------------------------------------------------
+# Steepest descent
+# ----------------------------------------------------------------------
+def test_greedy_reaches_local_minimum():
+    model = _random_model(3, 10)
+    result = SteepestDescentSolver(seed=0).sample(model, num_reads=8)
+    _, h_vec, j_mat = model.to_arrays()
+    for i in range(len(result)):
+        spins = result.records[i].astype(float)
+        fields = h_vec + j_mat @ spins
+        # No single flip can lower the energy further.
+        assert np.all(2.0 * spins * fields <= 1e-9)
+
+
+def test_greedy_polishes_samples_downhill():
+    model = _random_model(4, 12)
+    rough = SimulatedAnnealingSampler(seed=1).sample(
+        model, num_reads=10, num_sweeps=5
+    )
+    polished = SteepestDescentSolver(seed=0).polish(rough, model)
+    assert polished.energies.min() <= rough.energies.min() + 1e-9
+    assert polished.energies.mean() <= rough.energies.mean() + 1e-9
+
+
+def test_greedy_fixed_point_on_ground_state():
+    model = cell_hamiltonian("AND")
+    ground = ExactSolver().ground_states(model).first
+    order = list(model.variables)
+    init = np.array([[ground.assignment[v] for v in order]], dtype=np.int8)
+    result = SteepestDescentSolver().sample(model, initial_states=init)
+    assert result.first.assignment == ground.assignment
+
+
+def test_greedy_shape_validation():
+    model = cell_hamiltonian("AND")
+    with pytest.raises(ValueError):
+        SteepestDescentSolver().sample(
+            model, initial_states=np.ones((2, 99), dtype=np.int8)
+        )
+
+
+def test_greedy_empty_model():
+    assert len(SteepestDescentSolver().sample(IsingModel())) == 0

@@ -1,0 +1,362 @@
+"""Tests for Verilog functions and net-declaration assignments."""
+
+import pytest
+
+from repro.hdl import elaborate
+from repro.hdl.errors import ElaborationError, VerilogSyntaxError
+from repro.synth.simulate import NetlistSimulator
+
+
+def _sim(source):
+    return NetlistSimulator(elaborate(source))
+
+
+# ----------------------------------------------------------------------
+# wire x = expr;
+# ----------------------------------------------------------------------
+def test_wire_declaration_assignment():
+    sim = _sim(
+        """
+        module m (a, b, y);
+            input [2:0] a, b;
+            output [2:0] y;
+            wire [2:0] t = a & b;
+            assign y = ~t;
+        endmodule
+        """
+    )
+    for a in range(8):
+        for b in range(8):
+            assert sim.evaluate({"a": a, "b": b})["y"] == (~(a & b)) & 7
+
+
+def test_multiple_initializers_per_decl():
+    sim = _sim(
+        """
+        module m (a, y);
+            input [1:0] a;
+            output [1:0] y;
+            wire [1:0] p = a + 1, q = a - 1;
+            assign y = p & q;
+        endmodule
+        """
+    )
+    for a in range(4):
+        assert sim.evaluate({"a": a})["y"] == ((a + 1) & 3) & ((a - 1) & 3)
+
+
+def test_reg_initializer_rejected():
+    with pytest.raises(VerilogSyntaxError):
+        elaborate("module m; reg r = 1; endmodule")
+
+
+# ----------------------------------------------------------------------
+# Functions
+# ----------------------------------------------------------------------
+MAX4 = """
+    function [3:0] max4;
+        input [3:0] p;
+        input [3:0] q;
+        if (p > q)
+            max4 = p;
+        else
+            max4 = q;
+    endfunction
+"""
+
+
+def test_function_basic():
+    sim = _sim(
+        f"""
+        module m (a, b, y);
+            input [3:0] a, b;
+            output [3:0] y;
+            {MAX4}
+            assign y = max4(a, b);
+        endmodule
+        """
+    )
+    for a in range(16):
+        for b in range(0, 16, 3):
+            assert sim.evaluate({"a": a, "b": b})["y"] == max(a, b)
+
+
+def test_function_nested_calls():
+    sim = _sim(
+        f"""
+        module m (a, b, c, y);
+            input [3:0] a, b, c;
+            output [3:0] y;
+            {MAX4}
+            assign y = max4(max4(a, b), c);
+        endmodule
+        """
+    )
+    for a in range(0, 16, 5):
+        for b in range(0, 16, 3):
+            for c in range(0, 16, 7):
+                assert sim.evaluate({"a": a, "b": b, "c": c})["y"] == max(a, b, c)
+
+
+def test_function_with_locals_and_case():
+    sim = _sim(
+        """
+        module m (op, a, b, y);
+            input [1:0] op;
+            input [3:0] a, b;
+            output [3:0] y;
+            function [3:0] alu;
+                input [1:0] f;
+                input [3:0] p, q;
+                reg [3:0] t;
+                begin
+                    case (f)
+                        0: t = p + q;
+                        1: t = p - q;
+                        2: t = p & q;
+                        default: t = p ^ q;
+                    endcase
+                    alu = t;
+                end
+            endfunction
+            assign y = alu(op, a, b);
+        endmodule
+        """
+    )
+    import operator
+
+    ops = [operator.add, operator.sub, operator.and_, operator.xor]
+    for op in range(4):
+        for a in range(0, 16, 3):
+            for b in range(0, 16, 5):
+                expected = ops[op](a, b) & 15
+                assert sim.evaluate({"op": op, "a": a, "b": b})["y"] == expected
+
+
+def test_function_with_for_loop():
+    sim = _sim(
+        """
+        module m (x, y);
+            input [5:0] x;
+            output [2:0] y;
+            function [2:0] popcount;
+                input [5:0] v;
+                integer i;
+                begin
+                    popcount = 0;
+                    for (i = 0; i < 6; i = i + 1)
+                        popcount = popcount + v[i];
+                end
+            endfunction
+            assign y = popcount(x);
+        endmodule
+        """
+    )
+    for x in range(64):
+        assert sim.evaluate({"x": x})["y"] == bin(x).count("1")
+
+
+def test_function_usable_in_always_block():
+    sim = _sim(
+        f"""
+        module m (clk, a, b, q);
+            input clk;
+            input [3:0] a, b;
+            output [3:0] q;
+            reg [3:0] state;
+            {MAX4}
+            always @(posedge clk)
+                state <= max4(a, b);
+            assign q = state;
+        endmodule
+        """
+    )
+    sim.step({"clk": 0, "a": 9, "b": 4})
+    assert sim.step({"clk": 0, "a": 0, "b": 0})["q"] == 9
+
+
+def test_function_argument_count_checked():
+    with pytest.raises(ElaborationError):
+        elaborate(
+            f"""
+            module m (a, y);
+                input [3:0] a;
+                output [3:0] y;
+                {MAX4}
+                assign y = max4(a);
+            endmodule
+            """
+        )
+
+
+def test_unknown_function_rejected():
+    with pytest.raises(ElaborationError):
+        elaborate(
+            "module m (a, y); input a; output y; assign y = ghost(a); endmodule"
+        )
+
+
+def test_recursive_function_rejected():
+    with pytest.raises(ElaborationError):
+        elaborate(
+            """
+            module m (a, y);
+                input [3:0] a;
+                output [3:0] y;
+                function [3:0] f;
+                    input [3:0] v;
+                    f = f(v) + 1;
+                endfunction
+                assign y = f(a);
+            endmodule
+            """
+        )
+
+
+def test_function_must_assign_return_value():
+    with pytest.raises(ElaborationError):
+        elaborate(
+            """
+            module m (a, y);
+                input a;
+                output y;
+                function f;
+                    input v;
+                    if (v)
+                        f = 1;
+                endfunction
+                assign y = f(a);
+            endmodule
+            """
+        )
+
+
+def test_function_return_width_respected():
+    sim = _sim(
+        """
+        module m (a, y);
+            input [3:0] a;
+            output [7:0] y;
+            function [1:0] low2;
+                input [3:0] v;
+                low2 = v;
+            endfunction
+            assign y = low2(a);
+        endmodule
+        """
+    )
+    assert sim.evaluate({"a": 0b1111})["y"] == 0b11  # truncated to 2 bits
+
+
+def test_duplicate_function_rejected():
+    with pytest.raises(ElaborationError):
+        elaborate(
+            """
+            module m;
+                function f; input v; f = v; endfunction
+                function f; input v; f = ~v; endfunction
+            endmodule
+            """
+        )
+
+
+# ----------------------------------------------------------------------
+# Generate blocks
+# ----------------------------------------------------------------------
+RIPPLE = """
+module full_adder (a, b, cin, s, cout);
+    input a, b, cin;
+    output s, cout;
+    assign s = a ^ b ^ cin;
+    assign cout = (a & b) | (cin & (a ^ b));
+endmodule
+
+module ripple #(parameter N = 4) (a, b, s);
+    input [N-1:0] a, b;
+    output [N:0] s;
+    wire [N:0] carry;
+    genvar i;
+    assign carry[0] = 1'b0;
+    generate
+    for (i = 0; i < N; i = i + 1) begin : stage
+        full_adder fa (.a(a[i]), .b(b[i]), .cin(carry[i]),
+                       .s(s[i]), .cout(carry[i+1]));
+    end
+    endgenerate
+    assign s[N] = carry[N];
+endmodule
+"""
+
+
+def test_generate_ripple_adder():
+    sim = NetlistSimulator(elaborate(RIPPLE, top="ripple"))
+    for a in range(16):
+        for b in range(16):
+            assert sim.evaluate({"a": a, "b": b})["s"] == a + b
+
+
+def test_generate_respects_parameter_override():
+    netlist = elaborate(RIPPLE, top="ripple", parameters={"N": 2})
+    sim = NetlistSimulator(netlist)
+    for a in range(4):
+        for b in range(4):
+            assert sim.evaluate({"a": a, "b": b})["s"] == a + b
+
+
+def test_generate_with_assigns():
+    source = """
+    module rev (x, y);
+        input [3:0] x;
+        output [3:0] y;
+        genvar i;
+        generate
+        for (i = 0; i < 4; i = i + 1) begin : flip
+            assign y[i] = x[3 - i];
+        end
+        endgenerate
+    endmodule
+    """
+    sim = NetlistSimulator(elaborate(source))
+    for x in range(16):
+        expected = int(f"{x:04b}"[::-1], 2)
+        assert sim.evaluate({"x": x})["y"] == expected
+
+
+def test_generate_requires_genvar():
+    source = """
+    module m (x, y);
+        input x;
+        output y;
+        generate
+        for (i = 0; i < 1; i = i + 1) begin : g
+            assign y = x;
+        end
+        endgenerate
+    endmodule
+    """
+    with pytest.raises(ElaborationError):
+        elaborate(source)
+
+
+def test_generate_rejects_declarations_inside():
+    source = """
+    module m (x, y);
+        input x;
+        output y;
+        genvar i;
+        generate
+        for (i = 0; i < 2; i = i + 1) begin : g
+            wire t;
+        end
+        endgenerate
+        assign y = x;
+    endmodule
+    """
+    with pytest.raises(VerilogSyntaxError):
+        elaborate(source)
+
+
+def test_generate_instance_names_are_scoped():
+    netlist = elaborate(RIPPLE, top="ripple")
+    prefixes = {name.split(".")[0] for name in netlist.net_names if "." in name}
+    assert any(p.startswith("stage[") for p in prefixes)

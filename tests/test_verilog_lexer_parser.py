@@ -1,0 +1,327 @@
+"""Tests for the Verilog lexer and parser."""
+
+import pytest
+
+from repro.hdl import ast_nodes as ast
+from repro.hdl.errors import VerilogSyntaxError
+from repro.hdl.lexer import tokenize
+from repro.hdl.parser import parse
+
+
+# ----------------------------------------------------------------------
+# Lexer
+# ----------------------------------------------------------------------
+def test_tokenize_keywords_and_identifiers():
+    tokens = tokenize("module foo endmodule")
+    assert [(t.kind, t.value) for t in tokens[:3]] == [
+        ("keyword", "module"),
+        ("ident", "foo"),
+        ("keyword", "endmodule"),
+    ]
+    assert tokens[-1].kind == "eof"
+
+
+def test_tokenize_sized_literals():
+    cases = {
+        "4'b1010": (10, 4),
+        "8'hFF": (255, 8),
+        "8'hff": (255, 8),
+        "6'o17": (15, 6),
+        "12'd100": (100, 12),
+        "'d42": (42, None),
+    }
+    for text, expected in cases.items():
+        token = tokenize(text)[0]
+        assert token.kind == "number"
+        assert token.value == expected, text
+
+
+def test_oversized_literal_truncates():
+    token = tokenize("2'd7")[0]
+    assert token.value == (3, 2)  # Verilog truncates to the stated width
+
+
+def test_plain_decimal_with_underscores():
+    assert tokenize("1_000")[0].value == (1000, None)
+
+
+def test_x_and_z_digits_rejected():
+    with pytest.raises(VerilogSyntaxError):
+        tokenize("4'b10x0")
+    with pytest.raises(VerilogSyntaxError):
+        tokenize("4'bzzzz")
+
+
+def test_comments_stripped():
+    tokens = tokenize("a // comment\n/* block\ncomment */ b")
+    values = [t.value for t in tokens if t.kind == "ident"]
+    assert values == ["a", "b"]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(VerilogSyntaxError):
+        tokenize("/* never ends")
+
+
+def test_line_numbers_tracked():
+    tokens = tokenize("a\nb\n  c")
+    idents = [t for t in tokens if t.kind == "ident"]
+    assert [t.line for t in idents] == [1, 2, 3]
+    assert idents[2].column == 3
+
+
+def test_multichar_operators_win():
+    values = [t.value for t in tokenize("a <= b == c != d && e") if t.kind == "op"]
+    assert values == ["<=", "==", "!=", "&&"]
+
+
+def test_unexpected_character():
+    with pytest.raises(VerilogSyntaxError):
+        tokenize("a ` b")
+
+
+# ----------------------------------------------------------------------
+# Parser: module structure
+# ----------------------------------------------------------------------
+def test_parse_minimal_module():
+    source = parse("module m; endmodule")
+    assert len(source.modules) == 1
+    assert source.modules[0].name == "m"
+
+
+def test_parse_non_ansi_ports():
+    module = parse(
+        "module m (a, b, y); input a, b; output y; endmodule"
+    ).module("m")
+    assert module.port_order == ["a", "b", "y"]
+    decls = [item for item in module.items if isinstance(item, ast.Decl)]
+    assert {d.kind for d in decls} == {"input", "output"}
+
+
+def test_parse_ansi_ports():
+    module = parse(
+        "module m (input a, input [3:0] b, output reg [5:0] y); endmodule"
+    ).module("m")
+    assert module.port_order == ["a", "b", "y"]
+    decls = [item for item in module.items if isinstance(item, ast.Decl)]
+    assert decls[2].is_reg
+    assert decls[1].msb.value == 3
+
+
+def test_parse_ansi_direction_inheritance():
+    module = parse("module m (input a, b, output y); endmodule").module("m")
+    decls = [item for item in module.items if isinstance(item, ast.Decl)]
+    assert decls[0].kind == "input"
+    assert decls[1].kind == "input"  # inherited
+    assert decls[2].kind == "output"
+
+
+def test_parse_multiple_modules():
+    source = parse("module a; endmodule module b; endmodule")
+    assert [m.name for m in source.modules] == ["a", "b"]
+    with pytest.raises(KeyError):
+        source.module("c")
+
+
+def test_parse_parameters():
+    module = parse(
+        "module m; parameter W = 8; localparam H = W * 2; endmodule"
+    ).module("m")
+    params = [i for i in module.items if isinstance(i, ast.ParamDecl)]
+    assert params[0].name == "W" and not params[0].local
+    assert params[1].name == "H" and params[1].local
+
+
+def test_parse_parameter_header():
+    module = parse(
+        "module m #(parameter W = 4) (input [W-1:0] x); endmodule"
+    ).module("m")
+    params = [i for i in module.items if isinstance(i, ast.ParamDecl)]
+    assert params[0].name == "W"
+
+
+# ----------------------------------------------------------------------
+# Parser: expressions
+# ----------------------------------------------------------------------
+def _rhs(text: str) -> ast.Expr:
+    module = parse(f"module m; wire x; assign x = {text}; endmodule").module("m")
+    assign = [i for i in module.items if isinstance(i, ast.ContinuousAssign)][0]
+    return assign.value
+
+
+def test_precedence_mul_over_add():
+    expr = _rhs("a + b * c")
+    assert isinstance(expr, ast.Binary) and expr.op == "+"
+    assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+
+def test_precedence_relational_over_logical():
+    expr = _rhs("a < b && c > d")
+    assert expr.op == "&&"
+    assert expr.left.op == "<" and expr.right.op == ">"
+
+
+def test_precedence_bitwise_chain():
+    expr = _rhs("a | b ^ c & d")
+    assert expr.op == "|"
+    assert expr.right.op == "^"
+    assert expr.right.right.op == "&"
+
+
+def test_ternary_is_right_associative():
+    expr = _rhs("a ? b : c ? d : e")
+    assert isinstance(expr, ast.Ternary)
+    assert isinstance(expr.if_false, ast.Ternary)
+
+
+def test_unary_operators():
+    expr = _rhs("~a & !b")
+    assert expr.left.op == "~"
+    assert expr.right.op == "!"
+    reduction = _rhs("&a")
+    assert isinstance(reduction, ast.Unary) and reduction.op == "&"
+
+
+def test_concat_and_repeat():
+    concat = _rhs("{a, b, 2'b01}")
+    assert isinstance(concat, ast.Concat) and len(concat.parts) == 3
+    repeat = _rhs("{4{a}}")
+    assert isinstance(repeat, ast.Repeat)
+    assert repeat.count.value == 4
+
+
+def test_selects():
+    index = _rhs("mem[3]")
+    assert isinstance(index, ast.Index) and index.base == "mem"
+    part = _rhs("bus[7:4]")
+    assert isinstance(part, ast.PartSelect)
+    assert (part.msb.value, part.lsb.value) == (7, 4)
+
+
+def test_parenthesized_grouping():
+    expr = _rhs("(a + b) * c")
+    assert expr.op == "*"
+    assert expr.left.op == "+"
+
+
+# ----------------------------------------------------------------------
+# Parser: statements
+# ----------------------------------------------------------------------
+def _always_body(text: str) -> ast.Stmt:
+    module = parse(
+        f"module m; reg [3:0] r; always @(posedge clk) {text} endmodule"
+    ).module("m")
+    return [i for i in module.items if isinstance(i, ast.Always)][0].body
+
+
+def test_if_else_chain():
+    stmt = _always_body("if (a) r <= 0; else if (b) r <= 1; else r <= 2;")
+    assert isinstance(stmt, ast.If)
+    assert isinstance(stmt.else_branch, ast.If)
+
+
+def test_begin_end_blocks():
+    stmt = _always_body("begin r <= 1; r <= 2; end")
+    assert isinstance(stmt, ast.Block)
+    assert len(stmt.statements) == 2
+
+
+def test_blocking_vs_nonblocking():
+    stmt = _always_body("begin r = 1; r <= 2; end")
+    assert stmt.statements[0].blocking
+    assert not stmt.statements[1].blocking
+
+
+def test_case_statement():
+    stmt = _always_body(
+        "case (r) 0: r <= 1; 1, 2: r <= 3; default: r <= 0; endcase"
+    )
+    assert isinstance(stmt, ast.Case)
+    assert len(stmt.items) == 3
+    assert len(stmt.items[1].labels) == 2
+    assert stmt.items[2].labels == []
+
+
+def test_for_statement():
+    stmt = _always_body("for (i = 0; i < 4; i = i + 1) r <= r + 1;")
+    assert isinstance(stmt, ast.For)
+    assert stmt.var == "i" and stmt.update_var == "i"
+
+
+def test_sensitivity_lists():
+    module = parse(
+        """
+        module m;
+        reg a, b;
+        always @* a = 1;
+        always @(*) b = 1;
+        endmodule
+        """
+    ).module("m")
+    always_items = [i for i in module.items if isinstance(i, ast.Always)]
+    assert all(a.sensitivity[0].edge == "star" for a in always_items)
+    assert not always_items[0].is_sequential()
+
+
+def test_edge_sensitivity():
+    module = parse(
+        "module m; reg r; always @(negedge clk) r <= 1; endmodule"
+    ).module("m")
+    always = [i for i in module.items if isinstance(i, ast.Always)][0]
+    assert always.sensitivity[0].edge == "negedge"
+    assert always.is_sequential()
+
+
+# ----------------------------------------------------------------------
+# Parser: instances
+# ----------------------------------------------------------------------
+def test_named_instance():
+    module = parse(
+        "module m; sub u1 (.a(x), .b(y | z)); endmodule"
+    ).module("m")
+    inst = [i for i in module.items if isinstance(i, ast.Instance)][0]
+    assert inst.module == "sub" and inst.name == "u1"
+    assert inst.connections[0].port == "a"
+
+
+def test_positional_instance():
+    module = parse("module m; sub u1 (x, y); endmodule").module("m")
+    inst = [i for i in module.items if isinstance(i, ast.Instance)][0]
+    assert all(c.port is None for c in inst.connections)
+
+
+def test_parameterized_instance():
+    module = parse(
+        "module m; sub #(.W(8)) u1 (.a(x)); endmodule"
+    ).module("m")
+    inst = [i for i in module.items if isinstance(i, ast.Instance)][0]
+    assert inst.parameters[0][0] == "W"
+
+
+# ----------------------------------------------------------------------
+# Parser: error reporting
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "module m",  # no semicolon / endmodule
+        "module m; assign x = ; endmodule",
+        "module m; wire [3] x; endmodule",
+        "module m; initial x = 1; endmodule",
+        "module m; casez (x) endcase endmodule",
+        "module m; always @(posedge clk) x <=; endmodule",
+        "",
+    ],
+)
+def test_syntax_errors_raise(bad):
+    with pytest.raises(VerilogSyntaxError):
+        parse(bad)
+
+
+def test_error_carries_line_number():
+    try:
+        parse("module m;\n\nassign x = ;\nendmodule")
+    except VerilogSyntaxError as exc:
+        assert exc.line == 3
+    else:  # pragma: no cover
+        pytest.fail("expected a syntax error")

@@ -1,0 +1,82 @@
+"""Tests for the Chimera/embedding text renderings."""
+
+import networkx as nx
+import pytest
+
+from repro.hardware.chimera import chimera_graph, dropout
+from repro.hardware.embedding import Embedding, find_embedding
+from repro.hardware.visualize import (
+    embedding_report,
+    render_chains,
+    render_occupancy,
+    render_unit_cell,
+)
+
+
+@pytest.fixture(scope="module")
+def k4_embedding():
+    target = chimera_graph(2)
+    source = nx.complete_graph(4)
+    return find_embedding(source, target, seed=0), target
+
+
+def test_occupancy_counts_match_embedding(k4_embedding):
+    embedding, _ = k4_embedding
+    text = render_occupancy(embedding, rows=2)
+    assert f"{embedding.total_qubits()} qubits" in text
+    assert f"{len(embedding)} chains" in text
+    # The grid has 2 rows of cells.
+    grid_lines = [l for l in text.splitlines()[1:-1]]
+    assert len(grid_lines) == 2
+
+
+def test_occupancy_empty_embedding():
+    text = render_occupancy(Embedding({}), rows=2)
+    assert "0 qubits" in text
+    assert "." in text  # all cells empty
+
+
+def test_chain_table_sorted_longest_first(k4_embedding):
+    embedding, _ = k4_embedding
+    text = render_chains(embedding)
+    lengths = []
+    for line in text.splitlines():
+        parts = line.split()
+        if len(parts) >= 2 and parts[-2].isdigit():
+            lengths.append(int(parts[-2]))
+    assert lengths == sorted(lengths, reverse=True)
+    assert "distribution:" in text
+
+
+def test_chain_table_truncates():
+    chains = {i: frozenset({i * 8}) for i in range(40)}
+    text = render_chains(Embedding(chains), limit=5)
+    assert "... 35 more" in text
+
+
+def test_unit_cell_rendering_marks_couplers():
+    graph = chimera_graph(2)
+    text = render_unit_cell(graph, 0, 0, rows=2)
+    # A full unit cell shows 4 rows of 4 working couplers.
+    star_rows = [l for l in text.splitlines() if "****" in l]
+    assert len(star_rows) == 4
+
+
+def test_unit_cell_marks_dropped_qubits():
+    graph = dropout(chimera_graph(2), num_qubits=0)
+    graph.remove_node(0)
+    text = render_unit_cell(graph, 0, 0, rows=2)
+    assert "0x" in text.replace(" ", "")  # qubit 0 marked dead
+
+
+def test_unit_cell_shows_owners():
+    graph = chimera_graph(2)
+    text = render_unit_cell(graph, 0, 0, rows=2, occupied={0: "NSW[1]"})
+    assert "(NSW[1])" in text
+
+
+def test_embedding_report_combines_views(k4_embedding):
+    embedding, _ = k4_embedding
+    text = embedding_report(embedding, rows=2)
+    assert "occupancy" in text
+    assert "chain lengths" in text

@@ -1,0 +1,216 @@
+"""Tests for the NP-verifier generators."""
+
+import itertools
+
+import pytest
+
+from repro import VerilogAnnealerCompiler
+from repro.core.workloads import (
+    WorkloadError,
+    cnf_verilog,
+    dimacs_verilog,
+    map_coloring_verilog,
+    parse_dimacs,
+    subset_sum_verilog,
+    vertex_cover_verilog,
+)
+from repro.hdl import elaborate
+from repro.synth.simulate import NetlistSimulator
+
+
+def _sim(source, **kwargs):
+    return NetlistSimulator(elaborate(source, **kwargs))
+
+
+# ----------------------------------------------------------------------
+# Map coloring
+# ----------------------------------------------------------------------
+def test_map_coloring_matches_listing7():
+    regions = ["NSW", "QLD", "SA", "VIC", "WA", "NT", "ACT"]
+    adjacent = [
+        ("WA", "NT"), ("WA", "SA"), ("NT", "SA"), ("NT", "QLD"),
+        ("SA", "QLD"), ("SA", "NSW"), ("SA", "VIC"), ("QLD", "NSW"),
+        ("NSW", "VIC"), ("NSW", "ACT"),
+    ]
+    source = map_coloring_verilog(regions, adjacent)
+    sim = _sim(source)
+    good = {"NSW": 0, "QLD": 3, "SA": 2, "VIC": 3, "WA": 3, "NT": 1, "ACT": 2}
+    assert sim.evaluate(good)["valid"] == 1
+    bad = dict(good, NT=3)  # NT == WA == QLD
+    assert sim.evaluate(bad)["valid"] == 0
+
+
+def test_map_coloring_three_colors_adds_range_checks():
+    source = map_coloring_verilog(["A", "B"], [("A", "B")], num_colors=3)
+    sim = _sim(source)
+    assert sim.evaluate({"A": 0, "B": 1})["valid"] == 1
+    assert sim.evaluate({"A": 3, "B": 1})["valid"] == 0  # color 3 illegal
+    assert sim.evaluate({"A": 1, "B": 1})["valid"] == 0
+
+
+def test_map_coloring_triangle_needs_three_colors():
+    source = map_coloring_verilog(
+        ["A", "B", "C"], [("A", "B"), ("B", "C"), ("C", "A")], num_colors=2
+    )
+    sim = _sim(source)
+    # A triangle is not 2-colorable: no assignment validates.
+    assert all(
+        sim.evaluate({"A": a, "B": b, "C": c})["valid"] == 0
+        for a in range(2) for b in range(2) for c in range(2)
+    )
+
+
+def test_map_coloring_validation():
+    with pytest.raises(WorkloadError):
+        map_coloring_verilog(["A", "A"], [])
+    with pytest.raises(WorkloadError):
+        map_coloring_verilog(["A"], [("A", "B")])
+    with pytest.raises(WorkloadError):
+        map_coloring_verilog(["A"], [("A", "A")])
+    with pytest.raises(WorkloadError):
+        map_coloring_verilog(["bad name"], [])
+    with pytest.raises(WorkloadError):
+        map_coloring_verilog(["A"], [], num_colors=1)
+
+
+def test_map_coloring_backward_on_annealer():
+    source = map_coloring_verilog(
+        ["P", "Q", "R", "S"],
+        [("P", "Q"), ("Q", "R"), ("R", "S"), ("S", "P"), ("P", "R")],
+        num_colors=4,
+    )
+    compiler = VerilogAnnealerCompiler(seed=3)
+    result = compiler.run(source, pins=["valid := true"], solver="sa", num_reads=150)
+    best = result.valid_solutions[0]
+    colors = {r: best.value_of(r) for r in ("P", "Q", "R", "S")}
+    for a, b in [("P", "Q"), ("Q", "R"), ("R", "S"), ("S", "P"), ("P", "R")]:
+        assert colors[a] != colors[b]
+
+
+# ----------------------------------------------------------------------
+# DIMACS / SAT
+# ----------------------------------------------------------------------
+EXAMPLE_DIMACS = """
+c an easy satisfiable formula
+p cnf 4 4
+1 -2 0
+2 3 0
+-1 -3 0
+4 0
+"""
+
+
+def test_parse_dimacs():
+    num_variables, clauses = parse_dimacs(EXAMPLE_DIMACS)
+    assert num_variables == 4
+    assert clauses == [[1, -2], [2, 3], [-1, -3], [4]]
+
+
+def test_parse_dimacs_multiline_clause():
+    n, clauses = parse_dimacs("p cnf 3 1\n1\n-2 3 0\n")
+    assert clauses == [[1, -2, 3]]
+
+
+def test_parse_dimacs_errors():
+    with pytest.raises(WorkloadError):
+        parse_dimacs("1 2 0\n")  # clause before header
+    with pytest.raises(WorkloadError):
+        parse_dimacs("p cnf 1 1\n5 0\n")  # literal out of range
+    with pytest.raises(WorkloadError):
+        parse_dimacs("c only comments\n")
+
+
+def test_cnf_verifier_matches_python_evaluation():
+    num_variables, clauses = parse_dimacs(EXAMPLE_DIMACS)
+    sim = _sim(cnf_verilog(num_variables, clauses))
+    for assignment in itertools.product((0, 1), repeat=num_variables):
+        x = sum(bit << i for i, bit in enumerate(assignment))
+        expected = all(
+            any(
+                assignment[abs(l) - 1] == (1 if l > 0 else 0)
+                for l in clause
+            )
+            for clause in clauses
+        )
+        assert sim.evaluate({"x": x})["valid"] == int(expected)
+
+
+def test_sat_solved_backward_on_annealer():
+    source = dimacs_verilog(EXAMPLE_DIMACS)
+    compiler = VerilogAnnealerCompiler(seed=4)
+    result = compiler.run(source, pins=["valid := true"], solver="sa", num_reads=100)
+    witness = result.valid_solutions[0].value_of("x")
+    # Verify the witness classically.
+    sim = _sim(source)
+    assert sim.evaluate({"x": witness})["valid"] == 1
+
+
+def test_unsat_formula_yields_no_witness():
+    unsat = "p cnf 1 2\n1 0\n-1 0\n"
+    sim = _sim(dimacs_verilog(unsat))
+    assert sim.evaluate({"x": 0})["valid"] == 0
+    assert sim.evaluate({"x": 1})["valid"] == 0
+
+
+def test_cnf_validation():
+    with pytest.raises(WorkloadError):
+        cnf_verilog(0, [])
+    with pytest.raises(WorkloadError):
+        cnf_verilog(2, [[]])
+    with pytest.raises(WorkloadError):
+        cnf_verilog(2, [[3]])
+
+
+# ----------------------------------------------------------------------
+# Subset sum
+# ----------------------------------------------------------------------
+def test_subset_sum_verifier():
+    weights = [4, 6, 9, 2]
+    sim = _sim(subset_sum_verilog(weights, 11))
+    for selection in range(16):
+        chosen = sum(w for i, w in enumerate(weights) if (selection >> i) & 1)
+        assert sim.evaluate({"sel": selection})["valid"] == int(chosen == 11)
+
+
+def test_subset_sum_validation():
+    with pytest.raises(WorkloadError):
+        subset_sum_verilog([], 1)
+    with pytest.raises(WorkloadError):
+        subset_sum_verilog([1, 2], 9)
+    with pytest.raises(WorkloadError):
+        subset_sum_verilog([-1], 0)
+
+
+# ----------------------------------------------------------------------
+# Vertex cover
+# ----------------------------------------------------------------------
+def test_vertex_cover_verifier():
+    # A path 0-1-2-3: minimum cover {1, 2} has size 2.
+    edges = [(0, 1), (1, 2), (2, 3)]
+    sim = _sim(vertex_cover_verilog(4, edges, max_size=2))
+    assert sim.evaluate({"pick": 0b0110})["valid"] == 1  # {1, 2}
+    assert sim.evaluate({"pick": 0b0010})["valid"] == 0  # misses (2,3)
+    assert sim.evaluate({"pick": 0b1111})["valid"] == 0  # too many
+    assert sim.evaluate({"pick": 0b1010})["valid"] == 1  # {1, 3}
+
+
+def test_vertex_cover_backward():
+    edges = [(0, 1), (0, 2), (0, 3), (1, 2)]
+    source = vertex_cover_verilog(4, edges, max_size=2)
+    compiler = VerilogAnnealerCompiler(seed=5)
+    result = compiler.run(source, pins=["valid := true"], solver="sa", num_reads=150)
+    pick = result.valid_solutions[0].value_of("pick")
+    chosen = {i for i in range(4) if (pick >> i) & 1}
+    assert len(chosen) <= 2
+    assert all(u in chosen or v in chosen for u, v in edges)
+
+
+def test_vertex_cover_validation():
+    with pytest.raises(WorkloadError):
+        vertex_cover_verilog(0, [], 1)
+    with pytest.raises(WorkloadError):
+        vertex_cover_verilog(3, [(0, 5)], 1)
+    with pytest.raises(WorkloadError):
+        vertex_cover_verilog(3, [(1, 1)], 1)
+    with pytest.raises(WorkloadError):
+        vertex_cover_verilog(3, [], 0)
