@@ -1,4 +1,11 @@
-"""``python -m repro`` runs the verilog2qmasm command-line interface."""
+"""``python -m repro`` runs the verilog2qmasm command-line interface.
+
+Beyond compiling/running (``--run``, ``--pin``, ``--solver``), the CLI
+exposes the pass pipeline: ``--time-passes`` prints the per-stage
+timing/counter tables, ``--stats`` prints the Section 6.1 static
+properties, and ``--no-cache`` bypasses the compilation and embedding
+caches.  See ``python -m repro --help`` for the full flag list.
+"""
 
 import sys
 

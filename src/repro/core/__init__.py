@@ -4,20 +4,50 @@ Verilog -> digital circuit -> EDIF -> QMASM -> logical Hamiltonian ->
 minor-embedded physical Hamiltonian -> anneal -> named results
 (Sections 4.1-4.4), runnable forward (pin inputs) or backward (pin
 outputs) per Section 4.3.6.
+
+The lowering and execution steps are first-class stages run by a
+:class:`~repro.core.pipeline.PassManager` (see
+:mod:`repro.core.pipeline`), with per-stage timings/counters on
+``CompiledProgram.stats`` / ``RunResult.stats`` and content-addressed
+compilation/embedding caches in :mod:`repro.core.cache`.
 """
 
+from repro.core.cache import (
+    ArtifactCache,
+    CacheStats,
+    CompilationCache,
+    EmbeddingCache,
+)
 from repro.core.compiler import (
     CompiledProgram,
     CompileOptions,
     VerilogAnnealerCompiler,
     compile_verilog,
+    default_compile_stages,
     run_verilog,
+)
+from repro.core.pipeline import (
+    PassManager,
+    PipelineContext,
+    PipelineStats,
+    Stage,
+    StageRecord,
 )
 
 __all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "CompilationCache",
     "CompiledProgram",
     "CompileOptions",
+    "EmbeddingCache",
+    "PassManager",
+    "PipelineContext",
+    "PipelineStats",
+    "Stage",
+    "StageRecord",
     "VerilogAnnealerCompiler",
     "compile_verilog",
+    "default_compile_stages",
     "run_verilog",
 ]

@@ -1,0 +1,206 @@
+"""Content-addressed caches for compiled programs and minor embeddings.
+
+Minor embedding dominates end-to-end latency and is a pure function of
+the logical interaction graph (plus the target hardware graph and the
+embedder's seed), so recomputing it on every run of the same design is
+wasted work -- the same observation that leads Bian et al. (2018) to
+treat encoding and embedding as cacheable, independently tuned steps.
+Likewise a full compilation is a pure function of the Verilog source and
+the :class:`~repro.core.compiler.CompileOptions`.
+
+Two cache classes cover those cases:
+
+* :class:`CompilationCache` -- keyed by ``hash(source, options)``;
+* :class:`EmbeddingCache` -- keyed by the logical-graph fingerprint,
+  the target-graph fingerprint, and the embedder parameters.
+
+Both are in-memory by default and optionally spill to an on-disk
+directory (pickle files named by key), so a serving fleet can share a
+warm cache across processes.  Disk failures are never fatal: a cache
+that cannot read or write simply behaves as a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Dict, Optional
+
+import networkx as nx
+
+from repro.hardware.embedding import graph_fingerprint
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.stores = 0
+
+
+def stable_hash(*parts: str) -> str:
+    """A stable hex digest over an ordered sequence of strings."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def options_fingerprint(options: Any) -> str:
+    """A canonical string for an options object.
+
+    Dataclasses are rendered field-by-field in declaration order so two
+    equal option sets always produce the same fingerprint; anything else
+    falls back to ``repr``.
+    """
+    if is_dataclass(options) and not isinstance(options, type):
+        parts = [
+            f"{f.name}={getattr(options, f.name)!r}" for f in fields(options)
+        ]
+        return f"{type(options).__name__}({', '.join(parts)})"
+    return repr(options)
+
+
+class ArtifactCache:
+    """A content-addressed key/value cache: memory first, disk second.
+
+    Args:
+        cache_dir: optional directory for the on-disk tier (created on
+            first store).  ``None`` keeps the cache purely in memory.
+        enabled: a disabled cache misses every lookup and stores
+            nothing, so ``--no-cache`` paths need no special casing.
+        max_entries: in-memory entry cap; the oldest entries are evicted
+            first (insertion order) once the cap is exceeded.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        enabled: bool = True,
+        max_entries: int = 256,
+    ):
+        self.cache_dir = cache_dir
+        self.enabled = enabled
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._memory: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[Any]:
+        if not self.enabled:
+            self.stats.misses += 1
+            return None
+        if key in self._memory:
+            self.stats.hits += 1
+            return self._memory[key]
+        value = self._disk_get(key)
+        if value is not None:
+            self._memory_put(key, value)
+            self.stats.hits += 1
+            return value
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, value: Any) -> None:
+        if not self.enabled:
+            return
+        self._memory_put(key, value)
+        self._disk_put(key, value)
+        self.stats.stores += 1
+
+    def clear(self) -> None:
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # ------------------------------------------------------------------
+    def _memory_put(self, key: str, value: Any) -> None:
+        self._memory[key] = value
+        while len(self._memory) > self.max_entries:
+            self._memory.pop(next(iter(self._memory)))
+
+    def _disk_path(self, key: str) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, f"{key}.pkl")
+
+    def _disk_get(self, key: str) -> Optional[Any]:
+        path = self._disk_path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            return None
+
+    def _disk_put(self, key: str, value: Any) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            tmp = path + ".tmp"
+            with open(tmp, "wb") as handle:
+                pickle.dump(value, handle)
+            os.replace(tmp, path)
+        except Exception:
+            pass  # an unwritable disk tier degrades to memory-only
+
+
+class CompilationCache(ArtifactCache):
+    """Caches :class:`~repro.core.compiler.CompiledProgram` objects.
+
+    Keyed by the Verilog source text and the full
+    :class:`~repro.core.compiler.CompileOptions`, so any option change
+    (e.g. a different ``unroll_steps``) is a distinct entry.
+    """
+
+    @staticmethod
+    def key_for(source: str, options: Any) -> str:
+        return stable_hash("verilog:" + source, "options:" + options_fingerprint(options))
+
+
+class EmbeddingCache(ArtifactCache):
+    """Caches :class:`~repro.hardware.embedding.Embedding` objects.
+
+    Keyed by the *logical interaction graph* fingerprint -- not the
+    model coefficients -- because an embedding depends only on which
+    couplings are non-zero.  Re-running a compiled program with
+    different pins therefore reuses the same embedding (pins only bias
+    existing variables).  The target graph, seed, and retry budget are
+    part of the key so distinct hardware or an explicit re-seed still
+    embeds afresh (Section 6.1's 25-embedding variance sweep relies on
+    per-seed variation).
+    """
+
+    @staticmethod
+    def key_for(
+        source_graph: nx.Graph,
+        target_graph: nx.Graph,
+        seed: Optional[int] = None,
+        tries: int = 16,
+    ) -> str:
+        return stable_hash(
+            "source:" + graph_fingerprint(source_graph),
+            "target:" + graph_fingerprint(target_graph),
+            f"seed:{seed!r}",
+            f"tries:{tries}",
+        )

@@ -4,6 +4,16 @@ Compiles a Verilog file to QMASM (and optionally runs it), mirroring
 the paper's toolchain invocation style, including ``--pin``::
 
     verilog2qmasm mult.v --pin "C[7:0] := 10001111" --run --solver sa
+
+Pipeline introspection flags:
+
+``--time-passes``
+    print the per-stage wall-time/counter table for the compilation
+    (and, with ``--run``, the execution) pass pipeline.
+``--stats``
+    print the Section 6.1 static properties of the compilation.
+``--no-cache``
+    bypass the compilation and embedding caches.
 """
 
 from __future__ import annotations
@@ -73,6 +83,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="elide a-priori-determined qubits via roof duality",
     )
+    parser.add_argument(
+        "--time-passes",
+        action="store_true",
+        help="print per-stage wall times and artifact counters",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the compilation's static properties (Section 6.1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the compilation and embedding caches",
+    )
     return parser
 
 
@@ -84,7 +109,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.source, "r", encoding="utf-8") as handle:
             source = handle.read()
 
-    compiler = VerilogAnnealerCompiler(seed=args.seed)
+    compiler = VerilogAnnealerCompiler(seed=args.seed, cache=not args.no_cache)
     options = CompileOptions(top=args.top, unroll_steps=args.steps)
     try:
         program = compiler.compile(source, options)
@@ -92,7 +117,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
+    if args.stats:
+        from repro.core.report import format_compile_summary
+
+        print(format_compile_summary(program))
+
     if not args.run:
+        if args.time_passes:
+            from repro.core.report import format_pass_table
+
+            print(format_pass_table(program.stats, title="compile passes:"))
+        if args.stats or args.time_passes:
+            return 0
         if args.emit == "qmasm":
             print(program.qmasm_source)
         elif args.emit == "edif":
@@ -129,6 +165,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     from repro.core.report import format_run_result
 
     print(format_run_result(result, valid_only=not args.all_solutions))
+    if args.time_passes:
+        from repro.core.report import format_pass_table
+
+        print()
+        print(format_pass_table(program.stats, title="compile passes:"))
+        print()
+        print(format_pass_table(result.stats, title="run passes:"))
     return 0
 
 

@@ -1,8 +1,25 @@
 """End-to-end compilation: classical Verilog to annealer-ready form.
 
-:class:`VerilogAnnealerCompiler` chains every lowering step the paper
-describes, keeping all intermediate artifacts (netlists, EDIF text,
-QMASM source, the logical Hamiltonian) inspectable on the resulting
+:class:`VerilogAnnealerCompiler` is a thin driver over an explicit
+pass pipeline (:mod:`repro.core.pipeline`): each lowering step the paper
+describes -- ``elaborate``, ``optimize``, ``techmap``, ``unroll``,
+``emit_edif``, ``edif_roundtrip``, ``translate_qmasm``, ``assemble`` --
+is a first-class :class:`~repro.core.pipeline.Stage` in
+:attr:`VerilogAnnealerCompiler.compile_stages`, executed by a
+:class:`~repro.core.pipeline.PassManager`.  Every stage records wall
+time and artifact-size counters into the resulting program's
+:attr:`CompiledProgram.stats`; execution is delegated to
+:class:`~repro.qmasm.runner.QmasmRunner`, which is staged the same way.
+
+Compilations are memoized in a content-addressed
+:class:`~repro.core.cache.CompilationCache` keyed by
+``hash(source, options)``, so repeated compiles of the same design are
+free; the runner likewise caches minor embeddings by logical-graph
+fingerprint.  Pass ``cache=False`` (or ``--no-cache`` on the CLI) to
+bypass both.
+
+All intermediate artifacts (netlists, EDIF text, QMASM source, the
+logical Hamiltonian) stay inspectable on the resulting
 :class:`CompiledProgram` -- the Section 6.1 static-properties analysis
 reads them straight off.
 
@@ -14,6 +31,7 @@ Typical use::
                           solver="sa", num_reads=1000)
     for solution in result.valid_solutions:
         print(solution.value_of("A"), solution.value_of("B"))
+    print(program.stats.format_table())   # per-stage timings
 """
 
 from __future__ import annotations
@@ -21,6 +39,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.core.cache import CompilationCache, EmbeddingCache
+from repro.core.pipeline import (
+    PassManager,
+    PipelineContext,
+    PipelineStats,
+    Stage,
+    TraceCallback,
+)
 from repro.edif.writer import write_edif
 from repro.edif.reader import read_edif
 from repro.edif2qmasm.translate import netlist_to_qmasm
@@ -70,6 +96,8 @@ class CompiledProgram:
     qmasm_source: str
     logical: LogicalProgram
     options: CompileOptions = field(default_factory=CompileOptions)
+    #: Per-stage wall times and artifact counters for this compilation.
+    stats: PipelineStats = field(default_factory=PipelineStats)
 
     def simulator(self) -> NetlistSimulator:
         """A forward simulator over the final netlist (solution checking)."""
@@ -97,15 +125,225 @@ def _code_lines(text: str) -> int:
     )
 
 
+# ----------------------------------------------------------------------
+# The compilation pipeline stages
+# ----------------------------------------------------------------------
+@dataclass
+class CompileArtifact:
+    """The artifact threaded through the compile stages, field by field."""
+
+    source: str
+    elaborated: Optional[Netlist] = None
+    netlist: Optional[Netlist] = None
+    edif_text: Optional[str] = None
+    edif_netlist: Optional[Netlist] = None
+    qmasm_source: Optional[str] = None
+    logical: Optional[LogicalProgram] = None
+
+
+def _netlist_counters(netlist: Netlist) -> Dict[str, float]:
+    return dict(netlist.counters())
+
+
+class ElaborateStage(Stage):
+    """Verilog text -> word-level netlist, lowered to gates."""
+
+    name = "elaborate"
+
+    def run(self, artifact: CompileArtifact, context: PipelineContext):
+        options: CompileOptions = context.options
+        artifact.elaborated = elaborate(
+            artifact.source, top=options.top, parameters=options.parameters
+        )
+        artifact.netlist = artifact.elaborated
+        return artifact
+
+    def counters(self, artifact: CompileArtifact, context: PipelineContext):
+        return _netlist_counters(artifact.netlist)
+
+
+class OptimizeStage(Stage):
+    """ABC-role logic optimization (const-fold, CSE, dead gates)."""
+
+    name = "optimize"
+
+    def skip(self, artifact: CompileArtifact, context: PipelineContext) -> bool:
+        return not context.options.run_optimizer
+
+    def run(self, artifact: CompileArtifact, context: PipelineContext):
+        artifact.netlist = optimize(artifact.netlist)
+        return artifact
+
+    def counters(self, artifact: CompileArtifact, context: PipelineContext):
+        return _netlist_counters(artifact.netlist)
+
+
+class TechmapStage(Stage):
+    """Fold primitive gates into the paper's Table 5 compound cells."""
+
+    name = "techmap"
+
+    def skip(self, artifact: CompileArtifact, context: PipelineContext) -> bool:
+        return not context.options.run_techmap
+
+    def run(self, artifact: CompileArtifact, context: PipelineContext):
+        artifact.netlist = techmap(artifact.netlist)
+        return artifact
+
+    def counters(self, artifact: CompileArtifact, context: PipelineContext):
+        return _netlist_counters(artifact.netlist)
+
+
+class UnrollStage(Stage):
+    """Time-unroll sequential designs (then re-optimize the result)."""
+
+    name = "unroll"
+
+    def skip(self, artifact: CompileArtifact, context: PipelineContext) -> bool:
+        return not artifact.netlist.has_sequential()
+
+    def run(self, artifact: CompileArtifact, context: PipelineContext):
+        options: CompileOptions = context.options
+        if options.unroll_steps is None:
+            raise ValueError(
+                f"design {artifact.netlist.name!r} is sequential; pass unroll_steps"
+            )
+        artifact.netlist = unroll(
+            artifact.netlist,
+            options.unroll_steps,
+            initial_value=options.initial_state,
+        )
+        if options.run_optimizer:
+            artifact.netlist = optimize(artifact.netlist)
+        context.add_counters(steps=options.unroll_steps)
+        return artifact
+
+    def counters(self, artifact: CompileArtifact, context: PipelineContext):
+        return _netlist_counters(artifact.netlist)
+
+
+class EmitEdifStage(Stage):
+    """Serialize the final netlist to EDIF 2.0 text."""
+
+    name = "emit_edif"
+
+    def run(self, artifact: CompileArtifact, context: PipelineContext):
+        artifact.edif_text = write_edif(artifact.netlist)
+        return artifact
+
+    def counters(self, artifact: CompileArtifact, context: PipelineContext):
+        return {"edif_lines": len(artifact.edif_text.splitlines())}
+
+
+class EdifRoundtripStage(Stage):
+    """Re-parse the EDIF text: downstream sees exactly what the
+    interchange format carries, as in the paper."""
+
+    name = "edif_roundtrip"
+
+    def run(self, artifact: CompileArtifact, context: PipelineContext):
+        artifact.edif_netlist = read_edif(artifact.edif_text)
+        return artifact
+
+    def counters(self, artifact: CompileArtifact, context: PipelineContext):
+        return _netlist_counters(artifact.edif_netlist)
+
+
+class TranslateQmasmStage(Stage):
+    """edif2qmasm: netlist cells to QMASM macro instantiations."""
+
+    name = "translate_qmasm"
+
+    def run(self, artifact: CompileArtifact, context: PipelineContext):
+        artifact.qmasm_source = netlist_to_qmasm(artifact.edif_netlist)
+        return artifact
+
+    def counters(self, artifact: CompileArtifact, context: PipelineContext):
+        return {"qmasm_lines": _code_lines(artifact.qmasm_source)}
+
+
+class AssembleStage(Stage):
+    """qmasm assembly: macro expansion down to the logical program."""
+
+    name = "assemble"
+
+    def run(self, artifact: CompileArtifact, context: PipelineContext):
+        artifact.logical = assemble(parse_qmasm(artifact.qmasm_source))
+        return artifact
+
+    def counters(self, artifact: CompileArtifact, context: PipelineContext):
+        # "variables" is the Section 6.1 logical-variable count (distinct
+        # spins after chain contraction), matching --stats; the raw QMASM
+        # name count before contraction rides along separately.
+        model, _ = artifact.logical.to_ising(apply_pins=False)
+        return {
+            "variables": len(model),
+            "couplers": model.num_interactions(),
+            "qmasm_variables": len(artifact.logical.variables),
+        }
+
+
+def default_compile_stages() -> List[Stage]:
+    """The paper's lowering pipeline, in order."""
+    return [
+        ElaborateStage(),
+        OptimizeStage(),
+        TechmapStage(),
+        UnrollStage(),
+        EmitEdifStage(),
+        EdifRoundtripStage(),
+        TranslateQmasmStage(),
+        AssembleStage(),
+    ]
+
+
+# ----------------------------------------------------------------------
+# The driver
+# ----------------------------------------------------------------------
 class VerilogAnnealerCompiler:
-    """The full Section 4 toolchain with a pluggable execution backend."""
+    """The full Section 4 toolchain with a pluggable execution backend.
+
+    Args:
+        machine: execution backend for the ``dwave`` solver (a
+            :class:`DWaveSimulator`); created lazily when omitted.
+        seed: RNG seed threaded through solvers and the embedder.
+        cache: ``True`` (default) enables the in-memory compilation and
+            embedding caches; ``False`` disables both; a
+            :class:`CompilationCache` instance is used directly.
+        cache_dir: optional directory for an on-disk cache tier shared
+            across processes.
+        trace: optional callback receiving per-stage begin/end trace
+            events from both compilation and execution pipelines.
+    """
 
     def __init__(
         self,
         machine: Optional[DWaveSimulator] = None,
         seed: Optional[int] = None,
+        cache: Union[bool, CompilationCache] = True,
+        cache_dir: Optional[str] = None,
+        trace: Optional[TraceCallback] = None,
     ):
-        self.runner = QmasmRunner(machine=machine, seed=seed)
+        self.seed = seed
+        self.trace = trace
+        if isinstance(cache, CompilationCache):
+            self.compile_cache = cache
+            cache_enabled = cache.enabled
+        else:
+            cache_enabled = bool(cache)
+            self.compile_cache = CompilationCache(
+                cache_dir=cache_dir, enabled=cache_enabled
+            )
+        self.runner = QmasmRunner(
+            machine=machine,
+            seed=seed,
+            embedding_cache=EmbeddingCache(
+                cache_dir=cache_dir, enabled=cache_enabled
+            ),
+            trace=trace,
+        )
+        #: The lowering pipeline; callers may reorder/extend/replace.
+        self.compile_stages: List[Stage] = default_compile_stages()
 
     # ------------------------------------------------------------------
     def compile(
@@ -114,46 +352,39 @@ class VerilogAnnealerCompiler:
         """Lower Verilog source through every stage to a logical program.
 
         Keyword arguments are shorthand for :class:`CompileOptions`
-        fields (``compiler.compile(src, unroll_steps=4)``).
+        fields (``compiler.compile(src, unroll_steps=4)``).  Results are
+        memoized by ``hash(source, options)``: a repeated compile of the
+        same design returns the cached :class:`CompiledProgram` without
+        re-running any stage.
         """
         if options is None:
             options = CompileOptions(**kwargs)
         elif kwargs:
             raise TypeError("pass either options or keyword overrides, not both")
 
-        elaborated = elaborate(
-            verilog_source, top=options.top, parameters=options.parameters
-        )
-        netlist = elaborated
-        if options.run_optimizer:
-            netlist = optimize(netlist)
-        if options.run_techmap:
-            netlist = techmap(netlist)
-        if netlist.has_sequential():
-            if options.unroll_steps is None:
-                raise ValueError(
-                    f"design {netlist.name!r} is sequential; pass unroll_steps"
-                )
-            netlist = unroll(
-                netlist, options.unroll_steps, initial_value=options.initial_state
-            )
-            if options.run_optimizer:
-                netlist = optimize(netlist)
+        cache_key = CompilationCache.key_for(verilog_source, options)
+        cached = self.compile_cache.get(cache_key)
+        if cached is not None:
+            return cached
 
-        edif_text = write_edif(netlist)
-        # Round-trip through the EDIF parser: the QMASM translation sees
-        # exactly what the interchange format carries, as in the paper.
-        qmasm_source = netlist_to_qmasm(read_edif(edif_text))
-        logical = assemble(parse_qmasm(qmasm_source))
-        return CompiledProgram(
-            verilog_source=verilog_source,
-            elaborated=elaborated,
-            netlist=netlist,
-            edif_text=edif_text,
-            qmasm_source=qmasm_source,
-            logical=logical,
-            options=options,
+        context = PipelineContext(
+            options=options, seed=self.seed, trace=self.trace
         )
+        artifact = PassManager(self.compile_stages).run(
+            CompileArtifact(source=verilog_source), context
+        )
+        program = CompiledProgram(
+            verilog_source=verilog_source,
+            elaborated=artifact.elaborated,
+            netlist=artifact.netlist,
+            edif_text=artifact.edif_text,
+            qmasm_source=artifact.qmasm_source,
+            logical=artifact.logical,
+            options=options,
+            stats=context.stats,
+        )
+        self.compile_cache.put(cache_key, program)
+        return program
 
     # ------------------------------------------------------------------
     def run(
@@ -162,15 +393,25 @@ class VerilogAnnealerCompiler:
         pins: Sequence[str] = (),
         solver: str = "dwave",
         num_reads: int = 100,
+        compile_options: Optional[CompileOptions] = None,
         **runner_kwargs,
     ) -> RunResult:
         """Execute a compiled program (compiling first if given source).
 
         ``pins`` bind inputs for forward execution or outputs for
-        backward execution -- the same program runs either way.
+        backward execution -- the same program runs either way.  When
+        ``program`` is raw Verilog source, ``compile_options`` controls
+        the implied compilation (e.g.
+        ``run(src, compile_options=CompileOptions(unroll_steps=4))``);
+        it is rejected for already-compiled programs.
         """
         if isinstance(program, str):
-            program = self.compile(program)
+            program = self.compile(program, compile_options)
+        elif compile_options is not None:
+            raise TypeError(
+                "compile_options only applies when run() is given raw "
+                "Verilog source, not an already-compiled program"
+            )
         return self.runner.run(
             program.logical,
             pins=pins,

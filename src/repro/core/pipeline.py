@@ -1,0 +1,283 @@
+"""Staged pass-pipeline infrastructure for the compiler and runner.
+
+The paper's toolchain is a straight line (Verilog -> EDIF -> QMASM ->
+logical Ising -> embedded physical Ising -> anneal), and qmasm itself
+separates assemble / embed / anneal phases.  This module makes that
+structure explicit: every lowering and execution step is a
+:class:`Stage` with a uniform ``run(artifact, context)`` interface, and
+a :class:`PassManager` drives an ordered stage list while recording, for
+every stage, wall time and artifact-size counters into a
+:class:`PipelineStats`.
+
+The payoff is threefold:
+
+* **observability** -- ``CompiledProgram.stats`` and ``RunResult.stats``
+  expose a per-stage timing/size table (``--time-passes`` on the CLI),
+  plus an optional trace-event callback for external profilers;
+* **configurability** -- drivers hold plain stage lists that callers can
+  reorder, extend, or replace;
+* **cacheability** -- stages can consult the content-addressed caches in
+  :mod:`repro.core.cache` and mark their records as cache hits, so
+  repeated compilations and repeated embeddings of the same logical
+  graph are skipped entirely.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+
+#: A trace event is a plain dict: ``{"stage": name, "event": "begin"}``
+#: or ``{"stage": name, "event": "end", "wall_time_s": float,
+#: "cached": bool, "skipped": bool, "counters": {...}}``.
+TraceCallback = Callable[[Dict[str, Any]], None]
+
+
+@dataclass
+class StageRecord:
+    """One stage's observation: how long it took and what it produced.
+
+    Attributes:
+        name: the stage's name.
+        wall_time_s: wall-clock seconds spent inside the stage.
+        counters: artifact-size counters after the stage ran (cells,
+            variables, couplers, lines, ...), stage-specific.
+        cached: the stage satisfied its work from a cache.
+        skipped: the stage did not apply (e.g. ``unroll`` on a purely
+            combinational design) and passed the artifact through.
+    """
+
+    name: str
+    wall_time_s: float = 0.0
+    counters: Dict[str, float] = field(default_factory=dict)
+    cached: bool = False
+    skipped: bool = False
+
+
+class PipelineStats:
+    """Ordered per-stage records for one pipeline execution."""
+
+    def __init__(self) -> None:
+        self.records: List[StageRecord] = []
+
+    # -- collection ----------------------------------------------------
+    def record(self, record: StageRecord) -> None:
+        self.records.append(record)
+
+    # -- access --------------------------------------------------------
+    def __iter__(self) -> Iterator[StageRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __contains__(self, name: str) -> bool:
+        return any(r.name == name for r in self.records)
+
+    def __getitem__(self, name: str) -> StageRecord:
+        for record in self.records:
+            if record.name == name:
+                return record
+        raise KeyError(f"no stage {name!r} in pipeline stats")
+
+    def stage_names(self) -> List[str]:
+        return [r.name for r in self.records]
+
+    def executed_names(self) -> List[str]:
+        """Names of stages that actually ran (not skipped)."""
+        return [r.name for r in self.records if not r.skipped]
+
+    def total_time_s(self) -> float:
+        return sum(r.wall_time_s for r in self.records)
+
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.cached)
+
+    # -- rendering -----------------------------------------------------
+    def format_table(self, title: Optional[str] = None) -> str:
+        """An aligned, human-readable per-stage table.
+
+        This is what ``--time-passes`` prints::
+
+            stage             time      notes
+            elaborate         0.0021s   cells=13
+            ...
+            total             0.0214s
+        """
+        rows: List[tuple] = []
+        for record in self.records:
+            notes = []
+            if record.skipped:
+                notes.append("skipped")
+            if record.cached:
+                notes.append("cached")
+            notes.extend(
+                f"{key}={_format_count(value)}"
+                for key, value in record.counters.items()
+            )
+            rows.append((record.name, f"{record.wall_time_s:.4f}s", " ".join(notes)))
+        rows.append(("total", f"{self.total_time_s():.4f}s", ""))
+        name_w = max(len(r[0]) for r in rows)
+        time_w = max(len(r[1]) for r in rows)
+        lines = []
+        if title:
+            lines.append(title)
+        lines.append(f"{'stage':<{name_w}}  {'time':>{time_w}}  notes")
+        for name, elapsed, notes in rows:
+            lines.append(f"{name:<{name_w}}  {elapsed:>{time_w}}  {notes}".rstrip())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"PipelineStats({len(self.records)} stages, "
+            f"{self.total_time_s():.4f}s)"
+        )
+
+
+def _format_count(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.3g}"
+    return str(int(value))
+
+
+class PipelineContext:
+    """Everything a stage may consult besides the artifact itself.
+
+    Attributes:
+        options: the driver's option object (:class:`CompileOptions` for
+            compilation, a :class:`~repro.qmasm.runner.RunOptions` for
+            execution).
+        seed: the driver's RNG seed, for stages with randomized behavior.
+        stats: the metrics sink stages record into.
+        trace: optional callback receiving begin/end trace events.
+        scratch: shared mutable storage for stage-to-stage side data
+            that is not part of the artifact proper (e.g. the lazily
+            constructed machine).
+    """
+
+    def __init__(
+        self,
+        options: Any = None,
+        seed: Optional[int] = None,
+        trace: Optional[TraceCallback] = None,
+        stats: Optional[PipelineStats] = None,
+    ):
+        self.options = options
+        self.seed = seed
+        self.trace = trace
+        self.stats = stats if stats is not None else PipelineStats()
+        self.scratch: Dict[str, Any] = {}
+        self._cached = False
+        self._extra_counters: Dict[str, float] = {}
+
+    # -- stage-facing hooks --------------------------------------------
+    def mark_cached(self) -> None:
+        """Flag the currently running stage's record as a cache hit."""
+        self._cached = True
+
+    def add_counters(self, **counters: float) -> None:
+        """Attach extra counters to the currently running stage's record."""
+        self._extra_counters.update(counters)
+
+    # -- PassManager internals -----------------------------------------
+    def _begin_stage(self) -> None:
+        self._cached = False
+        self._extra_counters = {}
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        if self.trace is not None:
+            self.trace(event)
+
+
+class Stage:
+    """One pipeline step: transform an artifact, report its size.
+
+    Subclasses set :attr:`name` and implement :meth:`run`; they may
+    override :meth:`skip` (stage does not apply to this artifact) and
+    :meth:`counters` (artifact-size metrics recorded after the run).
+    """
+
+    name: str = "stage"
+
+    def run(self, artifact: Any, context: PipelineContext) -> Any:
+        raise NotImplementedError
+
+    def skip(self, artifact: Any, context: PipelineContext) -> bool:
+        return False
+
+    def counters(self, artifact: Any, context: PipelineContext) -> Dict[str, float]:
+        return {}
+
+
+class FunctionStage(Stage):
+    """Adapt a plain ``artifact -> artifact`` callable into a stage."""
+
+    def __init__(
+        self,
+        name: str,
+        function: Callable[[Any, PipelineContext], Any],
+        counters: Optional[Callable[[Any, PipelineContext], Dict[str, float]]] = None,
+        skip: Optional[Callable[[Any, PipelineContext], bool]] = None,
+    ):
+        self.name = name
+        self._function = function
+        self._counters = counters
+        self._skip = skip
+
+    def run(self, artifact: Any, context: PipelineContext) -> Any:
+        return self._function(artifact, context)
+
+    def counters(self, artifact: Any, context: PipelineContext) -> Dict[str, float]:
+        return self._counters(artifact, context) if self._counters else {}
+
+    def skip(self, artifact: Any, context: PipelineContext) -> bool:
+        return self._skip(artifact, context) if self._skip else False
+
+
+class PassManager:
+    """Run an ordered stage list, instrumenting every stage.
+
+    Stages that declare themselves inapplicable (``skip``) still get a
+    record (with ``skipped=True``) so the stats table always shows the
+    full pipeline shape.
+    """
+
+    def __init__(self, stages: Sequence[Stage]):
+        self.stages: List[Stage] = list(stages)
+
+    def stage_names(self) -> List[str]:
+        return [stage.name for stage in self.stages]
+
+    def run(self, artifact: Any, context: PipelineContext) -> Any:
+        for stage in self.stages:
+            context._begin_stage()
+            context.emit({"stage": stage.name, "event": "begin"})
+            start = time.perf_counter()
+            skipped = stage.skip(artifact, context)
+            if not skipped:
+                artifact = stage.run(artifact, context)
+            elapsed = time.perf_counter() - start
+            counters: Dict[str, float] = {}
+            if not skipped:
+                counters.update(stage.counters(artifact, context))
+            counters.update(context._extra_counters)
+            record = StageRecord(
+                name=stage.name,
+                wall_time_s=elapsed,
+                counters=counters,
+                cached=context._cached,
+                skipped=skipped,
+            )
+            context.stats.record(record)
+            context.emit(
+                {
+                    "stage": stage.name,
+                    "event": "end",
+                    "wall_time_s": elapsed,
+                    "cached": record.cached,
+                    "skipped": record.skipped,
+                    "counters": dict(counters),
+                }
+            )
+        return artifact

@@ -16,7 +16,7 @@ Qubits are numbered linearly in the D-Wave convention:
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import networkx as nx
 

@@ -20,10 +20,11 @@ compilation to compilation -- exactly the behaviour Section 6.1 reports
 
 from __future__ import annotations
 
-import math
+import hashlib
 import random
+import weakref
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
 
 import networkx as nx
 import numpy as np
@@ -400,6 +401,46 @@ def source_graph_of(model: IsingModel) -> nx.Graph:
         if coupling != 0.0:
             graph.add_edge(u, v)
     return graph
+
+
+#: Memoized fingerprints for long-lived graphs (a full C16 working graph
+#: has ~6000 edges; re-hashing it on every run would be measurable).
+_graph_fingerprints: "weakref.WeakKeyDictionary[nx.Graph, str]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def graph_fingerprint(graph: nx.Graph) -> str:
+    """A stable content fingerprint of a graph's node and edge sets.
+
+    Node identity and adjacency are all the minor embedder looks at, so
+    two graphs with equal fingerprints admit exactly the same
+    embeddings -- which makes this the cache key for the embedding cache
+    in :mod:`repro.core.cache`.  Hardware graphs are long-lived, so the
+    digest is memoized per graph object via weak references.
+    """
+    try:
+        cached = _graph_fingerprints.get(graph)
+    except TypeError:  # graph subclass without weakref support
+        cached = None
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for node in sorted(repr(n) for n in graph.nodes()):
+        digest.update(node.encode("utf-8"))
+        digest.update(b"\x00")
+    digest.update(b"\x01")
+    for edge in sorted(
+        "|".join(sorted((repr(u), repr(v)))) for u, v in graph.edges()
+    ):
+        digest.update(edge.encode("utf-8"))
+        digest.update(b"\x00")
+    fingerprint = digest.hexdigest()
+    try:
+        _graph_fingerprints[graph] = fingerprint
+    except TypeError:
+        pass
+    return fingerprint
 
 
 # ----------------------------------------------------------------------

@@ -8,7 +8,7 @@ embeddings or explaining the §6.1 qubit-count numbers.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, Optional
 
 import networkx as nx
 

@@ -18,7 +18,7 @@ wraps at 6 bits).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, List, Optional, Set, Union
 
 from repro.hdl import ast_nodes as ast
 from repro.hdl.errors import ElaborationError
@@ -831,8 +831,6 @@ class _Elaborator:
         ``env`` holds values visible to reads (blocking semantics);
         ``next_env`` holds end-of-block values (what flip-flops latch).
         """
-        build = self.builder
-
         if isinstance(stmt, ast.Block):
             for child in stmt.statements:
                 self._exec(child, scope, env, next_env)
@@ -990,7 +988,7 @@ class _Elaborator:
     def _exec_for(self, stmt: ast.For, scope, env, next_env) -> None:
         if stmt.var != stmt.update_var:
             raise ElaborationError(
-                f"for loop must update its own variable "
+                "for loop must update its own variable "
                 f"({stmt.var!r} vs {stmt.update_var!r})", stmt.line,
             )
         if stmt.var not in scope.loop_vars:

@@ -21,12 +21,12 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
 
-from repro.ising.model import SPIN_FALSE, SPIN_TRUE, IsingModel, bool_to_spin
+from repro.ising.model import SPIN_FALSE, SPIN_TRUE, IsingModel
 
 #: D-Wave 2000Q coefficient ranges (Section 2).  The J range is the
 #: symmetric [-1, 1] subset used for *logical* cell design; the hardware

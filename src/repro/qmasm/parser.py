@@ -12,7 +12,6 @@ import os
 import re
 from typing import Callable, Dict, List, Optional
 
-from repro.qmasm import program as prog
 from repro.qmasm.program import (
     Alias,
     AssertBinary,

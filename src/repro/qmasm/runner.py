@@ -8,14 +8,31 @@ statistics on the results"; it reports solutions "in terms of the
 program-specified symbolic names rather than as physical qubit numbers"
 with ``$``-variables hidden; and it optionally uses roof duality "to
 elide qubits whose final value can be determined a priori".
+
+Execution mirrors qmasm's own assemble/embed/anneal phase split as an
+explicit pass pipeline (:mod:`repro.core.pipeline`): ``roof_duality``,
+``find_embedding``, ``scale_to_hardware``, ``sample``, ``unembed``, and
+``postprocess`` are first-class stages whose wall times and artifact
+counters land in :attr:`RunResult.stats`.  Minor embeddings -- the
+dominant execution-side cost, and a pure function of the logical
+interaction graph -- are memoized in an
+:class:`~repro.core.cache.EmbeddingCache`, so repeated runs of the same
+compiled program (even with different pins) skip embedding entirely.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
+from repro.core.cache import EmbeddingCache
+from repro.core.pipeline import (
+    PassManager,
+    PipelineContext,
+    PipelineStats,
+    Stage,
+    TraceCallback,
+)
 from repro.hardware.embedding import (
     Embedding,
     embed_ising,
@@ -24,7 +41,7 @@ from repro.hardware.embedding import (
     unembed_sampleset,
 )
 from repro.hardware.scaling import scale_to_hardware
-from repro.ising.model import IsingModel, bool_to_spin, spin_to_bool
+from repro.ising.model import IsingModel, spin_to_bool
 from repro.ising.roofduality import fix_variables
 from repro.qmasm.assembler import LogicalProgram, assemble
 from repro.qmasm.parser import parse_pin, parse_qmasm
@@ -83,6 +100,8 @@ class RunResult:
     embedding: Optional[Embedding] = None
     physical_model: Optional[IsingModel] = None
     info: Dict = field(default_factory=dict)
+    #: Per-stage wall times and counters for this execution.
+    stats: PipelineStats = field(default_factory=PipelineStats)
 
     @property
     def valid_solutions(self) -> List[Solution]:
@@ -103,16 +122,299 @@ class RunResult:
         return self.embedding.total_qubits()
 
 
+# ----------------------------------------------------------------------
+# The execution pipeline
+# ----------------------------------------------------------------------
+@dataclass
+class RunOptions:
+    """Per-run execution knobs, carried by the pipeline context."""
+
+    solver: str = "dwave"
+    num_reads: int = 100
+    annealing_time_us: float = 20.0
+    chain_strength: Optional[float] = None
+    pin_strength: Optional[float] = None
+    use_roof_duality: bool = False
+    embedding_tries: int = 16
+    embedding_seed: Optional[int] = None
+    postprocess: str = "optimization"
+
+
+@dataclass
+class RunArtifact:
+    """The artifact threaded through the execution stages."""
+
+    logical: LogicalProgram
+    logical_model: IsingModel
+    representative: Dict[str, str]
+    solve_model: IsingModel
+    fixed: Dict[str, int] = field(default_factory=dict)
+    embedding: Optional[Embedding] = None
+    physical_model: Optional[IsingModel] = None
+    scaled_model: Optional[IsingModel] = None
+    sampleset: Optional[SampleSet] = None
+    info: Dict = field(default_factory=dict)
+
+
+class RoofDualityStage(Stage):
+    """Elide qubits whose final value can be determined a priori."""
+
+    name = "roof_duality"
+
+    def skip(self, artifact: RunArtifact, context: PipelineContext) -> bool:
+        return not context.options.use_roof_duality
+
+    def run(self, artifact: RunArtifact, context: PipelineContext):
+        artifact.fixed = fix_variables(artifact.logical_model)
+        for variable, spin in artifact.fixed.items():
+            artifact.solve_model = artifact.solve_model.fix_variable(variable, spin)
+        return artifact
+
+    def counters(self, artifact: RunArtifact, context: PipelineContext):
+        return {
+            "fixed": len(artifact.fixed),
+            "variables": len(artifact.solve_model),
+        }
+
+
+def _needs_embedding(artifact: RunArtifact, context: PipelineContext) -> bool:
+    return context.options.solver == "dwave" and len(artifact.solve_model) > 0
+
+
+class FindEmbeddingStage(Stage):
+    """Minor-embed the logical graph onto the machine's working graph.
+
+    Consults the runner's :class:`EmbeddingCache` first: the embedding
+    depends only on the interaction graph (not coefficients or pins),
+    the target graph, and the embedder parameters, so any prior run of
+    the same compiled program is a hit.
+    """
+
+    name = "find_embedding"
+
+    def __init__(self, runner: "QmasmRunner"):
+        self._runner = runner
+
+    def skip(self, artifact: RunArtifact, context: PipelineContext) -> bool:
+        return not _needs_embedding(artifact, context)
+
+    def run(self, artifact: RunArtifact, context: PipelineContext):
+        options: RunOptions = context.options
+        machine = self._runner._get_machine()
+        context.scratch["machine"] = machine
+        source_graph = source_graph_of(artifact.solve_model)
+        seed = (
+            self._runner.seed
+            if options.embedding_seed is None
+            else options.embedding_seed
+        )
+        cache = self._runner.embedding_cache
+        key = EmbeddingCache.key_for(
+            source_graph,
+            machine.working_graph,
+            seed=seed,
+            tries=options.embedding_tries,
+        )
+        embedding = cache.get(key)
+        if embedding is not None:
+            context.mark_cached()
+            artifact.info["embedding_cache"] = "hit"
+        else:
+            embedding = find_embedding(
+                source_graph,
+                machine.working_graph,
+                seed=seed,
+                tries=options.embedding_tries,
+            )
+            cache.put(key, embedding)
+            artifact.info["embedding_cache"] = "miss" if cache.enabled else "off"
+        artifact.embedding = embedding
+        return artifact
+
+    def counters(self, artifact: RunArtifact, context: PipelineContext):
+        return {
+            "variables": len(artifact.embedding),
+            "physical_qubits": artifact.embedding.total_qubits(),
+            "max_chain": artifact.embedding.max_chain_length(),
+        }
+
+
+class ScaleToHardwareStage(Stage):
+    """Build the physical Hamiltonian and scale it into machine range."""
+
+    name = "scale_to_hardware"
+
+    def skip(self, artifact: RunArtifact, context: PipelineContext) -> bool:
+        return not _needs_embedding(artifact, context)
+
+    def run(self, artifact: RunArtifact, context: PipelineContext):
+        machine = context.scratch["machine"]
+        artifact.physical_model = embed_ising(
+            artifact.solve_model,
+            artifact.embedding,
+            machine.working_graph,
+            chain_strength=None,
+        )
+        artifact.scaled_model, factor = scale_to_hardware(artifact.physical_model)
+        artifact.info["scale_factor"] = factor
+        return artifact
+
+    def counters(self, artifact: RunArtifact, context: PipelineContext):
+        return {
+            "physical_variables": len(artifact.physical_model),
+            "physical_couplers": artifact.physical_model.num_interactions(),
+        }
+
+
+class SampleStage(Stage):
+    """Minimize the prepared model on the selected backend."""
+
+    name = "sample"
+
+    def __init__(self, runner: "QmasmRunner"):
+        self._runner = runner
+
+    def run(self, artifact: RunArtifact, context: PipelineContext):
+        options: RunOptions = context.options
+        solver = options.solver
+        num_reads = options.num_reads
+        model = artifact.solve_model
+        seed = self._runner.seed
+
+        if len(model) == 0:
+            # Everything was determined a priori.
+            artifact.sampleset = SampleSet.empty([])
+        elif solver == "dwave":
+            machine = context.scratch["machine"]
+            raw = machine.sample_ising(
+                artifact.scaled_model,
+                num_reads=num_reads,
+                annealing_time_us=options.annealing_time_us,
+            )
+            artifact.info["timing"] = raw.info.get("timing", {})
+            artifact.sampleset = raw
+        elif solver == "sa":
+            sampler = SimulatedAnnealingSampler(seed=seed)
+            artifact.sampleset = sampler.sample(model, num_reads=num_reads)
+        elif solver == "sqa":
+            from repro.solvers.sqa import PathIntegralAnnealer
+
+            artifact.sampleset = PathIntegralAnnealer(seed=seed).sample(
+                model, num_reads=min(num_reads, 32)
+            )
+        elif solver == "exact":
+            artifact.sampleset = ExactSolver().sample(model, num_lowest=num_reads)
+        elif solver == "tabu":
+            artifact.sampleset = TabuSampler(seed=seed).sample(
+                model, num_reads=num_reads
+            )
+        elif solver == "qbsolv":
+            artifact.sampleset = QBSolv(seed=seed).sample(
+                model, num_reads=min(num_reads, 10)
+            )
+        else:
+            raise ValueError(f"unknown solver {solver!r}")
+        return artifact
+
+    def counters(self, artifact: RunArtifact, context: PipelineContext):
+        return {"samples": len(artifact.sampleset)}
+
+
+class UnembedStage(Stage):
+    """Map physical samples back to logical variables (majority vote)."""
+
+    name = "unembed"
+
+    def skip(self, artifact: RunArtifact, context: PipelineContext) -> bool:
+        return not _needs_embedding(artifact, context)
+
+    def run(self, artifact: RunArtifact, context: PipelineContext):
+        artifact.sampleset = unembed_sampleset(
+            artifact.sampleset, artifact.embedding, artifact.solve_model
+        )
+        artifact.info["chain_break_fraction"] = artifact.sampleset.info.get(
+            "chain_break_fraction", 0.0
+        )
+        return artifact
+
+    def counters(self, artifact: RunArtifact, context: PipelineContext):
+        return {"samples": len(artifact.sampleset)}
+
+
+class PostprocessStage(Stage):
+    """SAPI-style optimization postprocessing of unembedded samples."""
+
+    name = "postprocess"
+
+    def __init__(self, runner: "QmasmRunner"):
+        self._runner = runner
+
+    def skip(self, artifact: RunArtifact, context: PipelineContext) -> bool:
+        options: RunOptions = context.options
+        return (
+            options.solver != "dwave"
+            or options.postprocess != "optimization"
+            or len(artifact.solve_model) == 0
+            or not len(artifact.sampleset)
+        )
+
+    def run(self, artifact: RunArtifact, context: PipelineContext):
+        artifact.sampleset = self._runner._refine(
+            artifact.solve_model, artifact.sampleset
+        )
+        artifact.info["postprocess"] = "optimization"
+        return artifact
+
+    def counters(self, artifact: RunArtifact, context: PipelineContext):
+        return {"samples": len(artifact.sampleset)}
+
+
+#: Stages whose time the legacy ``info["wall_time_s"]`` figure covers
+#: (embedding through postprocessing, matching the pre-pipeline timer).
+_WALL_TIME_STAGES = (
+    "find_embedding",
+    "scale_to_hardware",
+    "sample",
+    "unembed",
+    "postprocess",
+)
+
+
 class QmasmRunner:
-    """Drives QMASM programs through solvers, like the qmasm executable."""
+    """Drives QMASM programs through solvers, like the qmasm executable.
+
+    Args:
+        machine: the simulated 2000Q backend; created lazily so
+            classical-solver runs never pay for the C16 graph.
+        seed: RNG seed for solvers and the embedder.
+        embedding_cache: cache for minor embeddings; defaults to a fresh
+            in-memory :class:`EmbeddingCache`.  Pass one with
+            ``enabled=False`` to always re-embed.
+        trace: optional per-stage trace-event callback.
+    """
 
     def __init__(
         self,
         machine: Optional[DWaveSimulator] = None,
         seed: Optional[int] = None,
+        embedding_cache: Optional[EmbeddingCache] = None,
+        trace: Optional[TraceCallback] = None,
     ):
         self.machine = machine
         self.seed = seed
+        self.trace = trace
+        self.embedding_cache = (
+            embedding_cache if embedding_cache is not None else EmbeddingCache()
+        )
+        #: The execution pipeline; callers may reorder/extend/replace.
+        self.run_stages: List[Stage] = [
+            RoofDualityStage(),
+            FindEmbeddingStage(self),
+            ScaleToHardwareStage(),
+            SampleStage(self),
+            UnembedStage(),
+            PostprocessStage(self),
+        ]
 
     def _get_machine(self) -> DWaveSimulator:
         if self.machine is None:
@@ -160,92 +462,61 @@ class QmasmRunner:
                 returns raw majority-vote samples.
 
         Returns:
-            A :class:`RunResult` with aggregated, energy-sorted solutions.
+            A :class:`RunResult` with aggregated, energy-sorted
+            solutions and per-stage :attr:`RunResult.stats`.
         """
+        if solver == "dwave" and postprocess not in ("none", "optimization"):
+            raise ValueError(f"unknown postprocess {postprocess!r}")
+
         logical = self._to_logical(source, pins)
         logical_model, representative = logical.to_ising(
             chain_strength=chain_strength, pin_strength=pin_strength
         )
 
-        fixed: Dict[str, int] = {}
-        solve_model = logical_model
-        if use_roof_duality:
-            fixed = fix_variables(logical_model)
-            for variable, spin in fixed.items():
-                solve_model = solve_model.fix_variable(variable, spin)
-
-        start = time.perf_counter()
-        embedding = None
-        physical_model = None
-        info: Dict = {"solver": solver}
-
-        if len(solve_model) == 0:
-            # Everything was determined a priori.
-            sampleset = SampleSet.empty([])
-        elif solver == "dwave":
-            machine = self._get_machine()
-            source_graph = source_graph_of(solve_model)
-            embedding = find_embedding(
-                source_graph,
-                machine.working_graph,
-                seed=self.seed if embedding_seed is None else embedding_seed,
-                tries=embedding_tries,
-            )
-            physical_model = embed_ising(
-                solve_model, embedding, machine.working_graph,
-                chain_strength=None,
-            )
-            scaled, factor = scale_to_hardware(physical_model)
-            info["scale_factor"] = factor
-            raw = machine.sample_ising(
-                scaled, num_reads=num_reads, annealing_time_us=annealing_time_us
-            )
-            info["timing"] = raw.info.get("timing", {})
-            sampleset = unembed_sampleset(raw, embedding, solve_model)
-            info["chain_break_fraction"] = sampleset.info.get(
-                "chain_break_fraction", 0.0
-            )
-            if postprocess == "optimization" and len(sampleset):
-                sampleset = self._refine(solve_model, sampleset)
-                info["postprocess"] = "optimization"
-            elif postprocess not in ("none", "optimization"):
-                raise ValueError(f"unknown postprocess {postprocess!r}")
-        elif solver == "sa":
-            sampler = SimulatedAnnealingSampler(seed=self.seed)
-            sampleset = sampler.sample(solve_model, num_reads=num_reads)
-        elif solver == "sqa":
-            from repro.solvers.sqa import PathIntegralAnnealer
-
-            sampleset = PathIntegralAnnealer(seed=self.seed).sample(
-                solve_model, num_reads=min(num_reads, 32)
-            )
-        elif solver == "exact":
-            sampleset = ExactSolver().sample(solve_model, num_lowest=num_reads)
-        elif solver == "tabu":
-            sampleset = TabuSampler(seed=self.seed).sample(
-                solve_model, num_reads=num_reads
-            )
-        elif solver == "qbsolv":
-            sampleset = QBSolv(seed=self.seed).sample(
-                solve_model, num_reads=min(num_reads, 10)
-            )
-        else:
-            raise ValueError(f"unknown solver {solver!r}")
-
-        info["wall_time_s"] = time.perf_counter() - start
-        info["roof_duality_fixed"] = len(fixed)
-        solutions = self._report(
-            logical, sampleset, representative, fixed, logical_model
+        options = RunOptions(
+            solver=solver,
+            num_reads=num_reads,
+            annealing_time_us=annealing_time_us,
+            chain_strength=chain_strength,
+            pin_strength=pin_strength,
+            use_roof_duality=use_roof_duality,
+            embedding_tries=embedding_tries,
+            embedding_seed=embedding_seed,
+            postprocess=postprocess,
         )
-        return RunResult(
-            solutions=solutions,
-            sampleset=sampleset,
+        context = PipelineContext(
+            options=options, seed=self.seed, trace=self.trace
+        )
+        artifact = RunArtifact(
             logical=logical,
             logical_model=logical_model,
             representative=representative,
-            embedding=embedding,
-            physical_model=physical_model,
+            solve_model=logical_model,
+            info={"solver": solver},
+        )
+        artifact = PassManager(self.run_stages).run(artifact, context)
+
+        info = artifact.info
+        info["wall_time_s"] = sum(
+            record.wall_time_s
+            for record in context.stats
+            if record.name in _WALL_TIME_STAGES
+        )
+        info["roof_duality_fixed"] = len(artifact.fixed)
+        solutions = self._report(
+            logical, artifact.sampleset, representative, artifact.fixed,
+            logical_model,
+        )
+        return RunResult(
+            solutions=solutions,
+            sampleset=artifact.sampleset,
+            logical=logical,
+            logical_model=logical_model,
+            representative=representative,
+            embedding=artifact.embedding,
+            physical_model=artifact.physical_model,
             info=info,
+            stats=context.stats,
         )
 
     # ------------------------------------------------------------------

@@ -17,7 +17,6 @@ from repro.qmasm.program import (
     Chain,
     Coupler,
     Include,
-    MacroDef,
     Pin,
     Program,
     QmasmError,

@@ -14,7 +14,7 @@ reproduced in shape.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import networkx as nx

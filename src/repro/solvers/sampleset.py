@@ -9,7 +9,7 @@ an energy and an occurrence count, sorted by energy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np

@@ -14,7 +14,7 @@ small before the global optimizer runs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.synth.netlist import Net, Netlist, NetlistError
 

@@ -11,8 +11,8 @@ library in :mod:`repro.ising.cells`, plus the pseudo-cells ``GND`` and
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.ising.cells import CELL_LIBRARY
 
@@ -201,6 +201,14 @@ class Netlist:
 
     def has_sequential(self) -> bool:
         return any(cell.is_sequential for cell in self.cells.values())
+
+    def counters(self) -> Dict[str, int]:
+        """Artifact-size counters for the pass pipeline's stats table."""
+        return {
+            "cells": len(self.cells),
+            "ports": len(self.ports),
+            "nets": len(self.all_nets()),
+        }
 
     # ------------------------------------------------------------------
     # Ordering and validation

@@ -10,7 +10,7 @@ oracle for the whole synthesis flow.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping
 
 from repro.ising.cells import CELL_LIBRARY
 from repro.synth.netlist import CONSTANT_CELLS, Cell, Net, Netlist

@@ -1,5 +1,8 @@
 """Tests for the CSP solver (the MiniZinc/Chuffed stand-in of §6.2)."""
 
+import itertools
+import random
+
 import pytest
 
 from repro.solvers.csp import CSPError, CSPModel, CSPSolver, parse_minizinc
@@ -187,10 +190,6 @@ def test_negative_ranges():
 # ----------------------------------------------------------------------
 # Property test: solver vs brute force on random binary CSPs
 # ----------------------------------------------------------------------
-import itertools
-import random
-
-
 @pytest.mark.parametrize("seed", range(10))
 def test_solver_matches_brute_force(seed):
     rng = random.Random(seed)

@@ -213,8 +213,6 @@ def test_default_chain_strength_rule():
 def test_unembed_majority_vote(c4):
     model = IsingModel(j={("x", "y"): -1.0})
     embedding = find_embedding(source_graph_of(model), c4, seed=5)
-    # Force a multi-qubit chain by hand for variable x.
-    chain_x = sorted(embedding["x"])
     physical = embed_ising(model, embedding, c4)
     qubits = list(physical.variables)
     # Build one physical sample with all +1.

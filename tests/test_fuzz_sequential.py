@@ -24,7 +24,7 @@ def _random_fsm(seed: int) -> str:
     op = rng.choice(["+", "^", "-"])
     shift = rng.randint(0, 2)
     update_true = rng.choice(
-        [f"state {op} 1", f"state {op} 3", f"(state << 1) | inp",
+        [f"state {op} 1", f"state {op} 3", "(state << 1) | inp",
          f"state ^ (state >> {max(shift, 1)})"]
     )
     update_false = rng.choice(["state", "state + 2", "~state"])

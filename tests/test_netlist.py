@@ -111,8 +111,8 @@ def test_topological_order_respects_dependencies():
     nl.add_port("a", PortDirection.INPUT, [a])
     n1, n2 = nl.new_net(), nl.new_net()
     # Add in reverse dependency order on purpose.
-    second = nl.add_cell("NOT", {"A": n1, "Y": n2}, name="second")
-    first = nl.add_cell("NOT", {"A": a, "Y": n1}, name="first")
+    nl.add_cell("NOT", {"A": n1, "Y": n2}, name="second")
+    nl.add_cell("NOT", {"A": a, "Y": n1}, name="first")
     nl.add_port("y", PortDirection.OUTPUT, [n2])
     order = [c.name for c in nl.topological_cells()]
     assert order.index("first") < order.index("second")

@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.synth.lowering import CircuitBuilder
 from repro.synth.netlist import Netlist, PortDirection
 from repro.synth.opt import optimize
 from repro.synth.simulate import NetlistSimulator

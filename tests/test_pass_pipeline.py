@@ -1,0 +1,413 @@
+"""Tests for the staged pass-pipeline layer (pipeline, stats, caches).
+
+Covers stage ordering, per-stage stats population on both the compile
+and run pipelines, compilation-cache hit/miss/invalidation behavior,
+embedding-cache reuse across runs of the same compiled program, the
+trace-event callback, and the new CLI flags.
+"""
+
+import pytest
+
+from repro import CompileOptions, VerilogAnnealerCompiler
+from repro.core.cache import (
+    CompilationCache,
+    EmbeddingCache,
+    options_fingerprint,
+)
+from repro.core.cli import main
+from repro.core.pipeline import (
+    PassManager,
+    PipelineContext,
+    PipelineStats,
+    Stage,
+    StageRecord,
+)
+from repro.hardware.embedding import graph_fingerprint
+from repro.qmasm.runner import QmasmRunner
+from repro.solvers.machine import DWaveSimulator, MachineProperties
+from tests.conftest import FIGURE_2A, LISTING_3_COUNTER
+
+COMPILE_STAGES = [
+    "elaborate",
+    "optimize",
+    "techmap",
+    "unroll",
+    "emit_edif",
+    "edif_roundtrip",
+    "translate_qmasm",
+    "assemble",
+]
+RUN_STAGES = [
+    "roof_duality",
+    "find_embedding",
+    "scale_to_hardware",
+    "sample",
+    "unembed",
+    "postprocess",
+]
+
+AND_PROGRAM = "!include <stdcell>\n!use_macro AND g\n"
+
+#: A one-gate design whose logical graph embeds into the tiny (C4) test
+#: machine quickly; FIGURE_2A's ~74-variable graph needs the full C16.
+TINY_AND = """
+module tiny (a, b, y);
+    input a, b;
+    output y;
+    assign y = a & b;
+endmodule
+"""
+
+
+@pytest.fixture()
+def fresh_compiler():
+    """A compiler with its own (empty) caches, on a tiny machine."""
+    machine = DWaveSimulator(
+        properties=MachineProperties(cells=4, dropout_fraction=0.0), seed=0
+    )
+    return VerilogAnnealerCompiler(machine=machine, seed=0)
+
+
+# ----------------------------------------------------------------------
+# PassManager / PipelineStats mechanics
+# ----------------------------------------------------------------------
+class _Doubler(Stage):
+    name = "double"
+
+    def run(self, artifact, context):
+        return artifact * 2
+
+    def counters(self, artifact, context):
+        return {"value": artifact}
+
+
+class _SkipMe(Stage):
+    name = "skipped_stage"
+
+    def skip(self, artifact, context):
+        return True
+
+    def run(self, artifact, context):  # pragma: no cover
+        raise AssertionError("skipped stage must not run")
+
+
+def test_pass_manager_runs_stages_in_order():
+    context = PipelineContext()
+    result = PassManager([_Doubler(), _SkipMe(), _Doubler()]).run(3, context)
+    assert result == 12
+    assert context.stats.stage_names() == ["double", "skipped_stage", "double"]
+    assert context.stats.executed_names() == ["double", "double"]
+    assert context.stats.records[1].skipped
+
+
+def test_pass_manager_records_counters_and_times():
+    context = PipelineContext()
+    PassManager([_Doubler()]).run(5, context)
+    record = context.stats["double"]
+    assert record.counters == {"value": 10}
+    assert record.wall_time_s >= 0.0
+    with pytest.raises(KeyError):
+        context.stats["missing"]
+
+
+def test_trace_callback_sees_begin_and_end_events():
+    events = []
+    context = PipelineContext(trace=events.append)
+    PassManager([_Doubler(), _SkipMe()]).run(1, context)
+    kinds = [(e["stage"], e["event"]) for e in events]
+    assert kinds == [
+        ("double", "begin"),
+        ("double", "end"),
+        ("skipped_stage", "begin"),
+        ("skipped_stage", "end"),
+    ]
+    end = events[1]
+    assert end["counters"] == {"value": 2}
+    assert end["skipped"] is False
+    assert events[3]["skipped"] is True
+
+
+def test_stats_format_table_lists_every_stage():
+    stats = PipelineStats()
+    stats.record(StageRecord("alpha", 0.25, {"cells": 7}))
+    stats.record(StageRecord("beta", 0.5, cached=True))
+    table = stats.format_table(title="passes:")
+    assert "passes:" in table
+    assert "alpha" in table and "beta" in table
+    assert "cells=7" in table
+    assert "cached" in table
+    assert "total" in table
+
+
+# ----------------------------------------------------------------------
+# Compile pipeline: ordering and stats population
+# ----------------------------------------------------------------------
+def test_compile_stats_cover_every_stage(fresh_compiler):
+    program = fresh_compiler.compile(FIGURE_2A)
+    assert program.stats.stage_names() == COMPILE_STAGES
+    # Combinational design: everything but unroll actually runs.
+    assert program.stats.executed_names() == [
+        s for s in COMPILE_STAGES if s != "unroll"
+    ]
+    for record in program.stats:
+        assert record.wall_time_s >= 0.0
+    assert program.stats["elaborate"].counters["cells"] > 0
+    assert program.stats["emit_edif"].counters["edif_lines"] > 0
+    assert program.stats["translate_qmasm"].counters["qmasm_lines"] > 0
+    assert program.stats["assemble"].counters["variables"] > 0
+    assert program.stats["assemble"].counters["couplers"] > 0
+
+
+def test_compile_stats_unroll_runs_for_sequential(fresh_compiler):
+    program = fresh_compiler.compile(LISTING_3_COUNTER, unroll_steps=2)
+    unroll = program.stats["unroll"]
+    assert not unroll.skipped
+    assert unroll.counters["steps"] == 2
+    assert unroll.counters["cells"] > 0
+
+
+def test_disabled_passes_are_recorded_as_skipped(fresh_compiler):
+    program = fresh_compiler.compile(
+        FIGURE_2A, run_optimizer=False, run_techmap=False
+    )
+    assert program.stats["optimize"].skipped
+    assert program.stats["techmap"].skipped
+    assert not program.stats["elaborate"].skipped
+
+
+# ----------------------------------------------------------------------
+# Compilation cache
+# ----------------------------------------------------------------------
+def test_repeated_compile_hits_cache(fresh_compiler):
+    first = fresh_compiler.compile(FIGURE_2A)
+    assert fresh_compiler.compile_cache.stats.hits == 0
+    second = fresh_compiler.compile(FIGURE_2A)
+    assert second is first
+    assert fresh_compiler.compile_cache.stats.hits == 1
+
+
+def test_cache_invalidated_by_option_change(fresh_compiler):
+    first = fresh_compiler.compile(FIGURE_2A)
+    other = fresh_compiler.compile(FIGURE_2A, run_techmap=False)
+    assert other is not first
+    assert fresh_compiler.compile_cache.stats.hits == 0
+    # Equal options (object vs kwargs spelling) share one entry.
+    again = fresh_compiler.compile(FIGURE_2A, CompileOptions(run_techmap=False))
+    assert again is other
+
+
+def test_cache_invalidated_by_source_change(fresh_compiler):
+    first = fresh_compiler.compile(FIGURE_2A)
+    changed = fresh_compiler.compile(FIGURE_2A + "\n// comment\n")
+    assert changed is not first
+    assert fresh_compiler.compile_cache.stats.hits == 0
+
+
+def test_cache_disabled_recompiles():
+    compiler = VerilogAnnealerCompiler(seed=0, cache=False)
+    first = compiler.compile(FIGURE_2A)
+    second = compiler.compile(FIGURE_2A)
+    assert second is not first
+    assert compiler.compile_cache.stats.hits == 0
+    assert not compiler.runner.embedding_cache.enabled
+
+
+def test_disk_cache_shared_between_compilers(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    producer = VerilogAnnealerCompiler(seed=0, cache_dir=cache_dir)
+    producer.compile(FIGURE_2A)
+    consumer = VerilogAnnealerCompiler(seed=0, cache_dir=cache_dir)
+    program = consumer.compile(FIGURE_2A)
+    assert consumer.compile_cache.stats.hits == 1
+    assert program.statistics()["verilog_lines"] == 5
+
+
+def test_options_fingerprint_is_field_sensitive():
+    a = options_fingerprint(CompileOptions())
+    b = options_fingerprint(CompileOptions(unroll_steps=4))
+    c = options_fingerprint(CompileOptions())
+    assert a != b
+    assert a == c
+
+
+def test_compilation_cache_key_depends_on_source_and_options():
+    base = CompilationCache.key_for("module m; endmodule", CompileOptions())
+    assert base == CompilationCache.key_for("module m; endmodule", CompileOptions())
+    assert base != CompilationCache.key_for("module n; endmodule", CompileOptions())
+    assert base != CompilationCache.key_for(
+        "module m; endmodule", CompileOptions(unroll_steps=2)
+    )
+
+
+# ----------------------------------------------------------------------
+# Run pipeline: stats and the embedding cache
+# ----------------------------------------------------------------------
+def test_run_stats_cover_every_stage(fresh_compiler):
+    program = fresh_compiler.compile(FIGURE_2A)
+    result = fresh_compiler.run(program, solver="exact")
+    assert result.stats.stage_names() == RUN_STAGES
+    # Classical solver: only 'sample' runs, embedding stages skip.
+    assert result.stats.executed_names() == ["sample"]
+    assert result.stats["sample"].counters["samples"] == len(result.sampleset)
+
+
+def test_dwave_run_stats_populate_embedding_stages(fresh_compiler):
+    result = fresh_compiler.run(TINY_AND, solver="dwave", num_reads=20)
+    for name in ("find_embedding", "scale_to_hardware", "sample", "unembed"):
+        assert not result.stats[name].skipped, name
+    embed = result.stats["find_embedding"]
+    assert embed.counters["physical_qubits"] >= embed.counters["variables"]
+    scale = result.stats["scale_to_hardware"]
+    assert scale.counters["physical_variables"] >= result.num_logical_variables()
+    assert result.info["wall_time_s"] > 0.0
+
+
+def test_embedding_cache_reused_across_runs(fresh_compiler):
+    program = fresh_compiler.compile(TINY_AND)
+    first = fresh_compiler.run(program, solver="dwave", num_reads=10)
+    assert first.info["embedding_cache"] == "miss"
+    assert not first.stats["find_embedding"].cached
+    second = fresh_compiler.run(program, solver="dwave", num_reads=10)
+    assert second.info["embedding_cache"] == "hit"
+    assert second.stats["find_embedding"].cached
+    assert second.embedding.chains == first.embedding.chains
+
+
+def test_embedding_cache_reused_across_different_pins(fresh_compiler):
+    """Pins only bias existing variables -- the interaction graph, and
+    therefore the embedding, is identical."""
+    program = fresh_compiler.compile(TINY_AND)
+    fresh_compiler.run(
+        program, pins=["a := 1", "b := 0"], solver="dwave", num_reads=10
+    )
+    rerun = fresh_compiler.run(
+        program, pins=["a := 0", "b := 1"], solver="dwave", num_reads=10
+    )
+    assert rerun.info["embedding_cache"] == "hit"
+
+
+def test_roof_duality_changes_embedding_cache_key(fresh_compiler):
+    """Roof duality elides variables, producing a different logical
+    graph -- it must never reuse the full graph's embedding."""
+    program = fresh_compiler.compile(TINY_AND)
+    fresh_compiler.run(
+        program, pins=["a := 1", "b := 1"], solver="dwave", num_reads=10
+    )
+    elided = fresh_compiler.run(
+        program,
+        pins=["a := 1", "b := 1"],
+        solver="dwave",
+        num_reads=10,
+        use_roof_duality=True,
+    )
+    assert elided.info["roof_duality_fixed"] > 0
+    # Either the reduced graph embeds afresh, or everything was elided
+    # and no embedding was needed at all -- but never a stale hit.
+    assert elided.info.get("embedding_cache") != "hit"
+
+
+def test_explicit_embedding_seed_misses_cache(fresh_compiler):
+    """Section 6.1's variance sweep re-embeds per seed; an explicit
+    seed must bypass entries recorded under other seeds."""
+    program = fresh_compiler.compile(TINY_AND)
+    fresh_compiler.run(program, solver="dwave", num_reads=10)
+    reseeded = fresh_compiler.run(
+        program, solver="dwave", num_reads=10, embedding_seed=123
+    )
+    assert reseeded.info["embedding_cache"] == "miss"
+
+
+def test_runner_embedding_cache_disabled():
+    machine = DWaveSimulator(
+        properties=MachineProperties(cells=4, dropout_fraction=0.0), seed=0
+    )
+    runner = QmasmRunner(
+        machine=machine, seed=0, embedding_cache=EmbeddingCache(enabled=False)
+    )
+    first = runner.run(AND_PROGRAM, solver="dwave", num_reads=10)
+    second = runner.run(AND_PROGRAM, solver="dwave", num_reads=10)
+    assert first.info["embedding_cache"] == "off"
+    assert second.info["embedding_cache"] == "off"
+    assert runner.embedding_cache.stats.hits == 0
+
+
+def test_graph_fingerprint_tracks_structure():
+    import networkx as nx
+
+    a = nx.Graph([("x", "y"), ("y", "z")])
+    b = nx.Graph([("y", "z"), ("x", "y")])  # same structure, other order
+    c = nx.Graph([("x", "y")])
+    assert graph_fingerprint(a) == graph_fingerprint(b)
+    assert graph_fingerprint(a) != graph_fingerprint(c)
+
+
+# ----------------------------------------------------------------------
+# run() with raw source and compile options (satellite fix)
+# ----------------------------------------------------------------------
+def test_run_raw_source_accepts_compile_options(fresh_compiler):
+    options = CompileOptions(unroll_steps=2, initial_state=0)
+    result = fresh_compiler.run(
+        LISTING_3_COUNTER,
+        solver="sa",
+        num_reads=40,
+        compile_options=options,
+    )
+    assert result.solutions
+
+
+def test_run_raw_sequential_source_without_options_still_raises(fresh_compiler):
+    with pytest.raises(ValueError):
+        fresh_compiler.run(LISTING_3_COUNTER, solver="sa")
+
+
+def test_run_rejects_compile_options_for_compiled_program(fresh_compiler):
+    program = fresh_compiler.compile(FIGURE_2A)
+    with pytest.raises(TypeError):
+        fresh_compiler.run(
+            program, solver="exact", compile_options=CompileOptions()
+        )
+
+
+# ----------------------------------------------------------------------
+# CLI flags
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def verilog_file(tmp_path):
+    path = tmp_path / "circuit.v"
+    path.write_text(FIGURE_2A)
+    return str(path)
+
+
+def test_cli_time_passes(verilog_file, capsys):
+    assert main([verilog_file, "--time-passes"]) == 0
+    out = capsys.readouterr().out
+    for stage in COMPILE_STAGES:
+        assert stage in out
+    assert "total" in out
+
+
+def test_cli_time_passes_with_run(verilog_file, capsys):
+    code = main(
+        [
+            verilog_file, "--run", "--solver", "exact", "--time-passes",
+            "--pin", "s := 1", "--pin", "a := 1", "--pin", "b := 1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "compile passes:" in out
+    assert "run passes:" in out
+    assert "sample" in out
+
+
+def test_cli_stats_flag(verilog_file, capsys):
+    assert main([verilog_file, "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "logical variables" in out
+    # --stats suppresses the default qmasm dump.
+    assert "!use_macro" not in out
+
+
+def test_cli_no_cache(verilog_file, capsys):
+    assert main([verilog_file, "--no-cache"]) == 0
+    assert "!use_macro" in capsys.readouterr().out

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import CompileOptions, VerilogAnnealerCompiler, compile_verilog, run_verilog
+from repro import CompileOptions, compile_verilog, run_verilog
 from tests.conftest import FIGURE_2A, LISTING_3_COUNTER, LISTING_5_CIRCSAT
 
 

@@ -4,8 +4,6 @@ import random
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.ising.cells import cell_hamiltonian
 from repro.ising.model import IsingModel
