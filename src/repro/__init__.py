@@ -34,8 +34,9 @@ from repro.core.compiler import (
     compile_verilog,
     run_verilog,
 )
+from repro.core.faults import FaultSpec, TransientSolverError, parse_fault_spec
 from repro.ising.model import IsingModel
-from repro.qmasm.runner import QmasmRunner, RunResult, Solution
+from repro.qmasm.runner import QmasmRunner, RetryPolicy, RunResult, Solution
 from repro.solvers.machine import DWaveSimulator, MachineProperties
 
 __version__ = "1.0.0"
@@ -46,8 +47,12 @@ __all__ = [
     "VerilogAnnealerCompiler",
     "compile_verilog",
     "run_verilog",
+    "FaultSpec",
+    "TransientSolverError",
+    "parse_fault_spec",
     "IsingModel",
     "QmasmRunner",
+    "RetryPolicy",
     "RunResult",
     "Solution",
     "DWaveSimulator",

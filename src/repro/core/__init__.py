@@ -12,6 +12,15 @@ The lowering and execution steps are first-class stages run by a
 compilation/embedding caches in :mod:`repro.core.cache`.
 """
 
+# faults has no repro-internal imports and is itself imported by the
+# solver/runner layers, so it must initialize before cache/compiler.
+from repro.core.faults import (
+    FaultInjector,
+    FaultSpec,
+    TransientSolverError,
+    break_chains,
+    parse_fault_spec,
+)
 from repro.core.cache import (
     ArtifactCache,
     CacheStats,
@@ -41,6 +50,11 @@ __all__ = [
     "CompiledProgram",
     "CompileOptions",
     "EmbeddingCache",
+    "FaultInjector",
+    "FaultSpec",
+    "TransientSolverError",
+    "break_chains",
+    "parse_fault_spec",
     "PassManager",
     "PipelineContext",
     "PipelineStats",

@@ -17,12 +17,17 @@ Two cache classes cover those cases:
 Both are in-memory by default and optionally spill to an on-disk
 directory (pickle files named by key), so a serving fleet can share a
 warm cache across processes.  Disk failures are never fatal: a cache
-that cannot read or write simply behaves as a miss.
+that cannot read or write simply behaves as a miss -- but they are
+never *silent* either: the first failure logs a warning (via the
+``repro.core.cache`` logger), corrupt entry files are deleted so they
+cannot poison later lookups, and ``CacheStats.disk_errors`` counts
+every incident.
 """
 
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 from dataclasses import dataclass, fields, is_dataclass
@@ -32,6 +37,8 @@ import networkx as nx
 
 from repro.hardware.embedding import graph_fingerprint
 
+logger = logging.getLogger(__name__)
+
 
 @dataclass
 class CacheStats:
@@ -40,6 +47,8 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: Disk-tier incidents: unreadable/corrupt entries and failed writes.
+    disk_errors: int = 0
 
     @property
     def lookups(self) -> int:
@@ -50,7 +59,7 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def reset(self) -> None:
-        self.hits = self.misses = self.stores = 0
+        self.hits = self.misses = self.stores = self.disk_errors = 0
 
 
 def stable_hash(*parts: str) -> str:
@@ -100,6 +109,7 @@ class ArtifactCache:
         self.max_entries = max_entries
         self.stats = CacheStats()
         self._memory: Dict[str, Any] = {}
+        self._disk_warned = False
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[Any]:
@@ -141,6 +151,28 @@ class ArtifactCache:
             return None
         return os.path.join(self.cache_dir, f"{key}.pkl")
 
+    def _disk_warn(self, action: str, path: str, exc: Exception) -> None:
+        """Record a disk-tier incident; warn on the first one only.
+
+        The tier degrades to memory-only behavior either way, but a
+        corrupt pickle or a permission problem should be visible in the
+        logs, not swallowed.
+        """
+        self.stats.disk_errors += 1
+        if not self._disk_warned:
+            self._disk_warned = True
+            logger.warning(
+                "cache disk tier failed to %s %s (%s: %s); degrading to "
+                "memory-only for such entries (further failures logged "
+                "at debug level)",
+                action, path, type(exc).__name__, exc,
+            )
+        else:
+            logger.debug(
+                "cache disk tier failed to %s %s (%s: %s)",
+                action, path, type(exc).__name__, exc,
+            )
+
     def _disk_get(self, key: str) -> Optional[Any]:
         path = self._disk_path(key)
         if path is None or not os.path.exists(path):
@@ -148,7 +180,14 @@ class ArtifactCache:
         try:
             with open(path, "rb") as handle:
                 return pickle.load(handle)
-        except Exception:
+        except Exception as exc:
+            self._disk_warn("load", path, exc)
+            # A corrupt entry would fail on every future lookup; delete
+            # it so the slot heals into a clean miss.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
             return None
 
     def _disk_put(self, key: str, value: Any) -> None:
@@ -161,8 +200,9 @@ class ArtifactCache:
             with open(tmp, "wb") as handle:
                 pickle.dump(value, handle)
             os.replace(tmp, path)
-        except Exception:
-            pass  # an unwritable disk tier degrades to memory-only
+        except Exception as exc:
+            # An unwritable disk tier degrades to memory-only.
+            self._disk_warn("store", path, exc)
 
 
 class CompilationCache(ArtifactCache):
@@ -189,6 +229,11 @@ class EmbeddingCache(ArtifactCache):
     part of the key so distinct hardware or an explicit re-seed still
     embeds afresh (Section 6.1's 25-embedding variance sweep relies on
     per-seed variation).
+
+    The target fingerprint is computed over the machine's *working*
+    graph, so a degraded machine (dead qubits/couplers from the yield
+    model or fault injection) never reuses an embedding found for a
+    healthier -- or differently damaged -- unit.
     """
 
     @staticmethod
@@ -197,10 +242,12 @@ class EmbeddingCache(ArtifactCache):
         target_graph: nx.Graph,
         seed: Optional[int] = None,
         tries: int = 16,
+        max_attempts: int = 1,
     ) -> str:
         return stable_hash(
             "source:" + graph_fingerprint(source_graph),
             "target:" + graph_fingerprint(target_graph),
             f"seed:{seed!r}",
             f"tries:{tries}",
+            f"max_attempts:{max_attempts}",
         )

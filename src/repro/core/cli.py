@@ -14,6 +14,20 @@ Pipeline introspection flags:
     print the Section 6.1 static properties of the compilation.
 ``--no-cache``
     bypass the compilation and embedding caches.
+
+Fault-tolerance flags (see ``repro.core.faults``):
+
+``--inject-fault SPEC``
+    deterministically damage the simulated machine, e.g.
+    ``--inject-fault 'dead_qubits=5%,fail_first=2,seed=7'`` kills 5% of
+    qubits and makes the first two sample calls fail.  Repeatable; later
+    specs override earlier keys.
+``--retries N``
+    per-run sample-call retry budget (each retry under a fresh
+    spin-reversal gauge).
+``--no-fallback``
+    fail instead of degrading to classical solver tiers when the
+    hardware stays unavailable.
 """
 
 from __future__ import annotations
@@ -23,6 +37,7 @@ import sys
 from typing import List, Optional
 
 from repro.core.compiler import CompileOptions, VerilogAnnealerCompiler
+from repro.core.faults import parse_fault_spec
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,7 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--run", action="store_true", help="execute the program")
     parser.add_argument(
         "--solver",
-        choices=["dwave", "sa", "exact", "tabu", "qbsolv"],
+        choices=["dwave", "sa", "sqa", "exact", "tabu", "qbsolv"],
         default="dwave",
         help="execution backend (default: simulated D-Wave 2000Q)",
     )
@@ -98,6 +113,31 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="bypass the compilation and embedding caches",
     )
+    parser.add_argument(
+        "--inject-fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help=(
+            "damage the simulated machine deterministically, e.g. "
+            "'dead_qubits=5%%,fail_first=2,seed=7' (keys: dead_qubits, "
+            "dead_couplers, fail_first, fail_rate, drop_rate, "
+            "break_chains, seed; repeatable)"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="sample-call attempt budget for transient failures (default: 3)",
+    )
+    parser.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="fail instead of degrading to classical solvers when the "
+        "hardware stays unavailable",
+    )
     return parser
 
 
@@ -109,7 +149,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.source, "r", encoding="utf-8") as handle:
             source = handle.read()
 
-    compiler = VerilogAnnealerCompiler(seed=args.seed, cache=not args.no_cache)
+    machine = None
+    if args.inject_fault:
+        try:
+            spec = None
+            for text in args.inject_fault:
+                spec = parse_fault_spec(text, base=spec)
+        except ValueError as exc:
+            print(f"error: --inject-fault: {exc}", file=sys.stderr)
+            return 1
+        from repro.solvers.machine import DWaveSimulator
+
+        machine = DWaveSimulator(seed=args.seed, faults=spec)
+
+    compiler = VerilogAnnealerCompiler(
+        machine=machine, seed=args.seed, cache=not args.no_cache
+    )
     options = CompileOptions(top=args.top, unroll_steps=args.steps)
     try:
         program = compiler.compile(source, options)
@@ -150,14 +205,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(format_compile_summary(program))
         return 0
 
-    result = compiler.run(
-        program,
-        pins=args.pin,
-        solver=args.solver,
-        num_reads=args.reads,
-        annealing_time_us=args.anneal_time,
-        use_roof_duality=args.roof_duality,
-    )
+    from repro.qmasm.runner import RetryPolicy
+
+    policy = RetryPolicy(max_sample_attempts=args.retries)
+    if args.no_fallback:
+        policy.fallback_solvers = ()
+    try:
+        result = compiler.run(
+            program,
+            pins=args.pin,
+            solver=args.solver,
+            num_reads=args.reads,
+            annealing_time_us=args.anneal_time,
+            use_roof_duality=args.roof_duality,
+            retry_policy=policy,
+        )
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     solutions = result.solutions if args.all_solutions else result.valid_solutions
     if not solutions:
         print("no valid solutions found; try more reads", file=sys.stderr)

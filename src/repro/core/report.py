@@ -75,6 +75,19 @@ def format_run_result(
         info_bits.append(
             f"{result.info['roof_duality_fixed']} qubit(s) elided a priori"
         )
+    resilience = result.info.get("resilience", {})
+    if resilience.get("sample_retries"):
+        info_bits.append(
+            f"{resilience['sample_retries']} sample retry(ies)"
+        )
+    if resilience.get("chain_strength_escalations"):
+        info_bits.append(
+            f"chain strength escalated "
+            f"{resilience['chain_strength_escalations']}x"
+        )
+    answered_by = result.info.get("answered_by")
+    if answered_by not in (None, "dwave") and "fallback_solver" in result.info:
+        info_bits.append(f"answered by fallback tier {answered_by!r}")
     if info_bits:
         lines.append("")
         lines.append("run info: " + ", ".join(info_bits))

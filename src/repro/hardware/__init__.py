@@ -13,6 +13,7 @@
 from repro.hardware.chimera import (
     ChimeraCoordinates,
     chimera_graph,
+    coupler_dropout,
     dropout,
     DWAVE_2000Q_CELLS,
 )
@@ -28,6 +29,7 @@ from repro.hardware.scaling import H_RANGE, J_RANGE, scale_to_hardware, quantize
 __all__ = [
     "ChimeraCoordinates",
     "chimera_graph",
+    "coupler_dropout",
     "dropout",
     "DWAVE_2000Q_CELLS",
     "Embedding",

@@ -127,6 +127,33 @@ def dropout(
     return out
 
 
+def coupler_dropout(
+    graph: nx.Graph,
+    fraction: float = 0.0,
+    num_couplers: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> nx.Graph:
+    """Remove random couplers, modeling fabrication coupler drop-out.
+
+    Real units lose couplers as well as qubits; a yield model without
+    dead couplers would overstate the routing freedom the embedder has.
+    Specify either a ``fraction`` of couplers to remove or an exact
+    ``num_couplers`` count.  Qubits are never removed, only edges.
+    """
+    rng = random.Random(seed)
+    edges = sorted(tuple(sorted(edge)) for edge in graph.edges())
+    if num_couplers is None:
+        num_couplers = int(round(fraction * len(edges)))
+    if not 0 <= num_couplers <= len(edges):
+        raise ValueError(
+            f"cannot drop {num_couplers} of {len(edges)} couplers"
+        )
+    removed = rng.sample(edges, num_couplers)
+    out = graph.copy()
+    out.remove_edges_from(removed)
+    return out
+
+
 def is_chimera_edge(graph: nx.Graph, u: int, v: int) -> bool:
     """True if (u, v) is a coupler in the working graph."""
     return graph.has_edge(u, v)

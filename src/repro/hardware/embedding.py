@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import hashlib
 import random
+import time
 import weakref
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
@@ -39,7 +40,50 @@ Qubit = int
 
 
 class EmbeddingError(Exception):
-    """No valid embedding was found within the retry budget."""
+    """No valid embedding was found within the retry budget.
+
+    Carries structured diagnostics so failures on degraded hardware are
+    debuggable from the message alone: how big the source and target
+    graphs were and how much retry budget was burned.  All fields are
+    optional -- low-level checks raise with whatever context they have.
+
+    Attributes:
+        source_size: logical variable count of the source graph.
+        source_edges: logical coupling count of the source graph.
+        target_size: qubit count of the (working) target graph.
+        attempts: escalation attempts used before giving up.
+        restarts: total randomized restarts across all attempts.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        source_size: Optional[int] = None,
+        source_edges: Optional[int] = None,
+        target_size: Optional[int] = None,
+        attempts: Optional[int] = None,
+        restarts: Optional[int] = None,
+    ):
+        self.source_size = source_size
+        self.source_edges = source_edges
+        self.target_size = target_size
+        self.attempts = attempts
+        self.restarts = restarts
+        details = []
+        if source_size is not None:
+            graph = f"source={source_size} vars"
+            if source_edges is not None:
+                graph += f"/{source_edges} edges"
+            details.append(graph)
+        if target_size is not None:
+            details.append(f"target={target_size} qubits")
+        if attempts is not None:
+            details.append(f"attempts={attempts}")
+        if restarts is not None:
+            details.append(f"restarts={restarts}")
+        if details:
+            message = f"{message} [{', '.join(details)}]"
+        super().__init__(message)
 
 
 @dataclass
@@ -75,24 +119,33 @@ class Embedding:
 
         Checks chain disjointness, chain connectivity in the target, and
         that every source edge is backed by at least one target coupler.
+        Raised errors carry the source and target sizes so validation
+        failures on degraded working graphs are diagnosable.
         """
+        sizes = dict(source_size=len(self.chains), target_size=len(target))
         seen: Set[Qubit] = set()
         for v, chain in self.chains.items():
             if not chain:
-                raise EmbeddingError(f"empty chain for {v!r}")
+                raise EmbeddingError(f"empty chain for {v!r}", **sizes)
             overlap = seen & chain
             if overlap:
-                raise EmbeddingError(f"qubits {overlap} shared by multiple chains")
+                raise EmbeddingError(
+                    f"qubits {overlap} shared by multiple chains", **sizes
+                )
             seen |= chain
             if not all(q in target for q in chain):
-                raise EmbeddingError(f"chain for {v!r} uses qubits outside the target")
+                raise EmbeddingError(
+                    f"chain for {v!r} uses qubits outside the target", **sizes
+                )
             if len(chain) > 1 and not nx.is_connected(target.subgraph(chain)):
-                raise EmbeddingError(f"chain for {v!r} is not connected")
+                raise EmbeddingError(f"chain for {v!r} is not connected", **sizes)
         for u, v in source_edges:
             if u == v:
                 continue
             if not self._chains_coupled(u, v, target):
-                raise EmbeddingError(f"no coupler backs source edge ({u!r}, {v!r})")
+                raise EmbeddingError(
+                    f"no coupler backs source edge ({u!r}, {v!r})", **sizes
+                )
 
     def _chains_coupled(self, u: Variable, v: Variable, target: nx.Graph) -> bool:
         chain_u, chain_v = self.chains[u], self.chains[v]
@@ -318,78 +371,127 @@ class _EmbedderState:
             self._claim(v, chain)
 
 
+def _one_restart(
+    source: nx.Graph, target: nx.Graph, rng: random.Random, rounds: int
+) -> Optional[Embedding]:
+    """One randomized restart of the embedder; ``None`` on contention."""
+    state = _EmbedderState(source, target, rng)
+    state.initial_pass()
+    # Two full sweeps route everything; overlap moves then dissolve the
+    # remaining contention.
+    state.improvement_round()
+    state.improvement_round()
+    for _ in range(rounds):
+        if state.max_usage() <= 1:
+            break
+        state.overlap_move()
+    if state.max_usage() > 1:
+        return None
+    # Polish: extra sweeps shorten chains; keep the last valid
+    # configuration in case a sweep re-introduces overlap.
+    snapshot = {v: set(c) for v, c in state.chains.items()}
+    for _ in range(2):
+        state.improvement_round()
+        for _ in range(rounds // 2):
+            if state.max_usage() <= 1:
+                break
+            state.overlap_move()
+        if state.max_usage() > 1:
+            break
+        if int(state.usage.sum()) <= sum(len(c) for c in snapshot.values()):
+            snapshot = {v: set(c) for v, c in state.chains.items()}
+    if state.max_usage() > 1:
+        for v in list(state.chains):
+            state._release(v)
+        for v, chain in snapshot.items():
+            state._claim(v, chain)
+    state.trim_chains()
+    embedding = Embedding(
+        {v: frozenset(chain) for v, chain in state.chains.items()}
+    )
+    embedding.validate(source.edges(), target)
+    return embedding
+
+
 def find_embedding(
     source: nx.Graph,
     target: nx.Graph,
     seed: Optional[int] = None,
     tries: int = 16,
     rounds: int = 32,
+    max_attempts: int = 1,
+    backoff_s: float = 0.0,
+    stats: Optional[Dict[str, float]] = None,
 ) -> Embedding:
     """Find a minor embedding of ``source`` into ``target``.
+
+    The retry budget *escalates*: attempt ``a`` (1-based) runs ``tries``
+    reseeded randomized restarts with ``rounds * 2**(a-1)`` improvement
+    rounds each, sleeping ``backoff_s * 2**(a-1)`` seconds between
+    attempts.  Degraded working graphs (dead qubits/couplers) that defeat
+    the default budget usually yield to the deeper later attempts; a
+    final failure raises an :class:`EmbeddingError` carrying the source
+    size, target size, and budget actually used.
 
     Args:
         source: the logical interaction graph (one node per variable,
             one edge per non-zero J coefficient).
-        target: the hardware graph (e.g. ``chimera_graph(16)``).
+        target: the hardware graph (e.g. a possibly degraded
+            ``chimera_graph(16)`` working graph).
         seed: RNG seed; different seeds give different embeddings, which
             is what makes Section 6.1's qubit counts vary per compile.
-        tries: independent randomized restarts before giving up.
-        rounds: improvement rounds per restart.
+        tries: independent randomized restarts per attempt.
+        rounds: improvement rounds per restart (first attempt).
+        max_attempts: escalation attempts (1 = the classic behavior).
+        backoff_s: base sleep between attempts (exponential).
+        stats: optional dict populated with ``attempts`` (attempts used)
+            and ``restarts`` (total restarts) on success.
 
     Raises:
         EmbeddingError: if no valid embedding is found.
     """
+    if max_attempts < 1:
+        raise ValueError("max_attempts must be >= 1")
     if len(source) == 0:
+        if stats is not None:
+            stats.update(attempts=0, restarts=0)
         return Embedding({})
     if len(source) > len(target):
         raise EmbeddingError(
-            f"{len(source)} logical variables exceed {len(target)} qubits"
+            "more logical variables than physical qubits",
+            source_size=len(source),
+            source_edges=source.number_of_edges(),
+            target_size=len(target),
         )
     rng = random.Random(seed)
     last_error: Optional[Exception] = None
-    for _ in range(tries):
-        state = _EmbedderState(source, target, random.Random(rng.getrandbits(64)))
-        try:
-            state.initial_pass()
-            # Two full sweeps route everything; overlap moves then
-            # dissolve the remaining contention.
-            state.improvement_round()
-            state.improvement_round()
-            for _ in range(rounds):
-                if state.max_usage() <= 1:
-                    break
-                state.overlap_move()
-            if state.max_usage() > 1:
+    restarts = 0
+    for attempt in range(1, max_attempts + 1):
+        attempt_rounds = rounds * (1 << (attempt - 1))
+        for _ in range(tries):
+            restarts += 1
+            try:
+                embedding = _one_restart(
+                    source, target, random.Random(rng.getrandbits(64)),
+                    attempt_rounds,
+                )
+            except EmbeddingError as exc:
+                last_error = exc
                 continue
-            # Polish: extra sweeps shorten chains; keep the last valid
-            # configuration in case a sweep re-introduces overlap.
-            snapshot = {v: set(c) for v, c in state.chains.items()}
-            for _ in range(2):
-                state.improvement_round()
-                for _ in range(rounds // 2):
-                    if state.max_usage() <= 1:
-                        break
-                    state.overlap_move()
-                if state.max_usage() > 1:
-                    break
-                if int(state.usage.sum()) <= sum(len(c) for c in snapshot.values()):
-                    snapshot = {v: set(c) for v, c in state.chains.items()}
-            if state.max_usage() > 1:
-                for v in list(state.chains):
-                    state._release(v)
-                for v, chain in snapshot.items():
-                    state._claim(v, chain)
-            state.trim_chains()
-            embedding = Embedding(
-                {v: frozenset(chain) for v, chain in state.chains.items()}
-            )
-            embedding.validate(source.edges(), target)
-            return embedding
-        except EmbeddingError as exc:
-            last_error = exc
+            if embedding is not None:
+                if stats is not None:
+                    stats.update(attempts=attempt, restarts=restarts)
+                return embedding
+        if attempt < max_attempts and backoff_s > 0.0:
+            time.sleep(backoff_s * (1 << (attempt - 1)))
     raise EmbeddingError(
-        f"no embedding found in {tries} tries"
-        + (f" (last error: {last_error})" if last_error else "")
+        "no embedding found within the retry budget"
+        + (f" (last error: {last_error})" if last_error else ""),
+        source_size=len(source),
+        source_edges=source.number_of_edges(),
+        target_size=len(target),
+        attempts=max_attempts,
+        restarts=restarts,
     )
 
 

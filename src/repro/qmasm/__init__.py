@@ -36,7 +36,7 @@ from repro.qmasm.program import (
 from repro.qmasm.parser import parse_qmasm, parse_pin
 from repro.qmasm.assembler import assemble, LogicalProgram
 from repro.qmasm.stdcell import stdcell_source, STDCELL_NAME
-from repro.qmasm.runner import QmasmRunner, RunResult
+from repro.qmasm.runner import QmasmRunner, RetryPolicy, RunResult
 
 __all__ = [
     "QmasmError",
@@ -58,5 +58,6 @@ __all__ = [
     "stdcell_source",
     "STDCELL_NAME",
     "QmasmRunner",
+    "RetryPolicy",
     "RunResult",
 ]

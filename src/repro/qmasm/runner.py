@@ -18,14 +18,25 @@ dominant execution-side cost, and a pure function of the logical
 interaction graph -- are memoized in an
 :class:`~repro.core.cache.EmbeddingCache`, so repeated runs of the same
 compiled program (even with different pins) skip embedding entirely.
+
+Hardware-backed execution is *fault tolerant*: a :class:`RetryPolicy`
+retries transient solver failures (each retry under a fresh
+spin-reversal gauge), escalates chain strength when the chain-break
+rate is unhealthy, and degrades gracefully through classical solver
+tiers when the machine stays unavailable --
+``RunResult.info["answered_by"]`` records which tier produced the
+answer, and every retry/fallback/broken-chain count lands in
+:attr:`RunResult.stats`.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.cache import EmbeddingCache
+from repro.core.faults import TransientSolverError
 from repro.core.pipeline import (
     PassManager,
     PipelineContext,
@@ -35,6 +46,7 @@ from repro.core.pipeline import (
 )
 from repro.hardware.embedding import (
     Embedding,
+    default_chain_strength,
     embed_ising,
     find_embedding,
     source_graph_of,
@@ -126,6 +138,63 @@ class RunResult:
 # The execution pipeline
 # ----------------------------------------------------------------------
 @dataclass
+class RetryPolicy:
+    """The resilient execution policy for hardware-backed runs.
+
+    Real fleets see transient solver failures, degraded working graphs,
+    and runs whose chains break too often to trust; published practice
+    answers with retries, gauge (spin-reversal) averaging, chain-
+    strength tuning, and classical fallbacks.  This policy packages all
+    of that:
+
+    * **Sample retries** -- up to :attr:`max_sample_attempts` calls per
+      sample, with exponential backoff.  Retried calls run under a fresh
+      random gauge (:attr:`gauge_on_retry`), so retries double as
+      spin-reversal averaging and decorrelate systematic analog bias.
+    * **Chain-strength escalation** -- if the unembedded chain-break
+      rate exceeds :attr:`chain_break_threshold`, the physical model is
+      rebuilt with the chain strength multiplied by
+      :attr:`chain_strength_factor` and re-sampled, up to
+      :attr:`max_chain_strength_escalations` times.
+    * **Graceful degradation** -- when the (simulated) hardware stays
+      unavailable after all retries, the *logical* problem falls back
+      through :attr:`fallback_solvers` (path-integral SQA, then tabu,
+      then exact for models of at most :attr:`exact_fallback_limit`
+      variables); ``RunResult.info["answered_by"]`` records which tier
+      actually produced the answer.
+    * **Embedding escalation** -- :attr:`embedding_max_attempts`
+      escalating attempts (doubling improvement rounds, reseeded
+      restarts, exponential backoff) for minor embedding on degraded
+      working graphs.
+    """
+
+    max_sample_attempts: int = 3
+    backoff_s: float = 0.0
+    backoff_factor: float = 2.0
+    gauge_on_retry: bool = True
+    chain_break_threshold: float = 0.25
+    chain_strength_factor: float = 2.0
+    max_chain_strength_escalations: int = 2
+    fallback_solvers: Tuple[str, ...] = ("sqa", "tabu", "exact")
+    exact_fallback_limit: int = 18
+    embedding_max_attempts: int = 3
+    embedding_backoff_s: float = 0.0
+
+    def __post_init__(self):
+        if self.max_sample_attempts < 1:
+            raise ValueError("max_sample_attempts must be >= 1")
+        if self.embedding_max_attempts < 1:
+            raise ValueError("embedding_max_attempts must be >= 1")
+        if not 0.0 <= self.chain_break_threshold <= 1.0:
+            raise ValueError("chain_break_threshold must be in [0, 1]")
+        if self.chain_strength_factor <= 1.0:
+            raise ValueError("chain_strength_factor must be > 1")
+        unknown = set(self.fallback_solvers) - {"sa", "sqa", "tabu", "exact"}
+        if unknown:
+            raise ValueError(f"unknown fallback solver(s): {sorted(unknown)}")
+
+
+@dataclass
 class RunOptions:
     """Per-run execution knobs, carried by the pipeline context."""
 
@@ -138,6 +207,7 @@ class RunOptions:
     embedding_tries: int = 16
     embedding_seed: Optional[int] = None
     postprocess: str = "optimization"
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
 
 @dataclass
@@ -200,6 +270,7 @@ class FindEmbeddingStage(Stage):
 
     def run(self, artifact: RunArtifact, context: PipelineContext):
         options: RunOptions = context.options
+        policy = options.retry
         machine = self._runner._get_machine()
         context.scratch["machine"] = machine
         source_graph = source_graph_of(artifact.solve_model)
@@ -209,25 +280,35 @@ class FindEmbeddingStage(Stage):
             else options.embedding_seed
         )
         cache = self._runner.embedding_cache
+        # The key covers the *working* graph fingerprint, so degraded
+        # machines never reuse embeddings found for healthier units.
         key = EmbeddingCache.key_for(
             source_graph,
             machine.working_graph,
             seed=seed,
             tries=options.embedding_tries,
+            max_attempts=policy.embedding_max_attempts,
         )
         embedding = cache.get(key)
         if embedding is not None:
             context.mark_cached()
             artifact.info["embedding_cache"] = "hit"
+            context.add_counters(attempts=0, restarts=0)
         else:
+            estats: Dict[str, float] = {}
             embedding = find_embedding(
                 source_graph,
                 machine.working_graph,
                 seed=seed,
                 tries=options.embedding_tries,
+                max_attempts=policy.embedding_max_attempts,
+                backoff_s=policy.embedding_backoff_s,
+                stats=estats,
             )
             cache.put(key, embedding)
             artifact.info["embedding_cache"] = "miss" if cache.enabled else "off"
+            artifact.info["embedding_stats"] = dict(estats)
+            context.add_counters(**estats)
         artifact.embedding = embedding
         return artifact
 
@@ -266,8 +347,31 @@ class ScaleToHardwareStage(Stage):
         }
 
 
+def _resilience_state(context: PipelineContext) -> Dict:
+    """The run-wide resilience scoreboard, shared across stages."""
+    return context.scratch.setdefault(
+        "resilience",
+        {
+            "sample_attempts": 0,
+            "sample_retries": 0,
+            "sample_failures": 0,
+            "fallback_depth": 0,
+            "chain_strength_escalations": 0,
+            "answered_by": None,
+        },
+    )
+
+
 class SampleStage(Stage):
-    """Minimize the prepared model on the selected backend."""
+    """Minimize the prepared model on the selected backend.
+
+    Hardware-backed runs execute under the :class:`RetryPolicy`:
+    transient solver failures are retried (each retry under a fresh
+    random gauge, so retries double as spin-reversal averaging), and if
+    the machine stays unavailable the *logical* problem degrades
+    gracefully through the policy's classical fallback tiers.  Which
+    tier actually answered lands in ``info["answered_by"]``.
+    """
 
     name = "sample"
 
@@ -279,66 +383,152 @@ class SampleStage(Stage):
         solver = options.solver
         num_reads = options.num_reads
         model = artifact.solve_model
-        seed = self._runner.seed
+        resilience = _resilience_state(context)
 
         if len(model) == 0:
             # Everything was determined a priori.
             artifact.sampleset = SampleSet.empty([])
         elif solver == "dwave":
             machine = context.scratch["machine"]
-            raw = machine.sample_ising(
-                artifact.scaled_model,
-                num_reads=num_reads,
-                annealing_time_us=options.annealing_time_us,
+            raw = self._runner._sample_with_retry(
+                machine, artifact.scaled_model, options, resilience
             )
-            artifact.info["timing"] = raw.info.get("timing", {})
-            artifact.sampleset = raw
-        elif solver == "sa":
-            sampler = SimulatedAnnealingSampler(seed=seed)
-            artifact.sampleset = sampler.sample(model, num_reads=num_reads)
-        elif solver == "sqa":
-            from repro.solvers.sqa import PathIntegralAnnealer
-
-            artifact.sampleset = PathIntegralAnnealer(seed=seed).sample(
-                model, num_reads=min(num_reads, 32)
-            )
-        elif solver == "exact":
-            artifact.sampleset = ExactSolver().sample(model, num_lowest=num_reads)
-        elif solver == "tabu":
-            artifact.sampleset = TabuSampler(seed=seed).sample(
-                model, num_reads=num_reads
-            )
-        elif solver == "qbsolv":
-            artifact.sampleset = QBSolv(seed=seed).sample(
-                model, num_reads=min(num_reads, 10)
-            )
+            if raw is not None:
+                artifact.info["timing"] = raw.info.get("timing", {})
+                artifact.sampleset = raw
+                resilience["answered_by"] = "dwave"
+            else:
+                self._fall_back(artifact, context, resilience)
         else:
-            raise ValueError(f"unknown solver {solver!r}")
+            artifact.sampleset = self._runner._classical_sample(
+                solver, model, num_reads
+            )
+            resilience["answered_by"] = solver
         return artifact
 
+    def _fall_back(
+        self,
+        artifact: RunArtifact,
+        context: PipelineContext,
+        resilience: Dict,
+    ) -> None:
+        """Degrade through the classical tiers after hardware gave up."""
+        options: RunOptions = context.options
+        policy = options.retry
+        model = artifact.solve_model
+        last_error: Optional[Exception] = resilience.get("last_error")
+        for depth, tier in enumerate(policy.fallback_solvers, start=1):
+            if tier == "exact" and len(model) > policy.exact_fallback_limit:
+                continue
+            try:
+                artifact.sampleset = self._runner._classical_sample(
+                    tier, model, options.num_reads
+                )
+            except Exception as exc:  # a broken tier just deepens the fall
+                last_error = exc
+                continue
+            resilience["answered_by"] = tier
+            resilience["fallback_depth"] = depth
+            artifact.info["fallback_solver"] = tier
+            return
+        raise TransientSolverError(
+            "hardware sampling failed after "
+            f"{policy.max_sample_attempts} attempt(s) and no fallback "
+            f"tier could answer (last error: {last_error})"
+        )
+
     def counters(self, artifact: RunArtifact, context: PipelineContext):
-        return {"samples": len(artifact.sampleset)}
+        counters = {"samples": len(artifact.sampleset)}
+        if context.options.solver == "dwave":
+            resilience = _resilience_state(context)
+            counters.update(
+                sample_attempts=resilience["sample_attempts"],
+                sample_retries=resilience["sample_retries"],
+                sample_failures=resilience["sample_failures"],
+                fallback_depth=resilience["fallback_depth"],
+            )
+        return counters
 
 
 class UnembedStage(Stage):
-    """Map physical samples back to logical variables (majority vote)."""
+    """Map physical samples back to logical variables (majority vote).
+
+    Also the chain-health guard: when the majority-vote unembedding
+    reports a chain-break fraction above the policy threshold, the
+    physical Hamiltonian is rebuilt with an escalated chain strength and
+    re-sampled (itself under the retry policy), up to the policy's
+    escalation budget -- the standard remedy when chains come apart on
+    real hardware.
+    """
 
     name = "unembed"
 
+    def __init__(self, runner: "QmasmRunner"):
+        self._runner = runner
+
     def skip(self, artifact: RunArtifact, context: PipelineContext) -> bool:
-        return not _needs_embedding(artifact, context)
+        if not _needs_embedding(artifact, context):
+            return True
+        # A classical fallback tier answered over the *logical* model;
+        # there is nothing embedded to undo.
+        resilience = context.scratch.get("resilience", {})
+        return resilience.get("answered_by") not in (None, "dwave")
 
     def run(self, artifact: RunArtifact, context: PipelineContext):
-        artifact.sampleset = unembed_sampleset(
+        options: RunOptions = context.options
+        policy = options.retry
+        resilience = _resilience_state(context)
+        unembedded = unembed_sampleset(
             artifact.sampleset, artifact.embedding, artifact.solve_model
         )
-        artifact.info["chain_break_fraction"] = artifact.sampleset.info.get(
-            "chain_break_fraction", 0.0
-        )
+        break_fraction = unembedded.info.get("chain_break_fraction", 0.0)
+
+        chain_strength = default_chain_strength(artifact.solve_model)
+        escalations = 0
+        while (
+            break_fraction > policy.chain_break_threshold
+            and escalations < policy.max_chain_strength_escalations
+        ):
+            escalations += 1
+            chain_strength *= policy.chain_strength_factor
+            machine = context.scratch["machine"]
+            physical = embed_ising(
+                artifact.solve_model,
+                artifact.embedding,
+                machine.working_graph,
+                chain_strength=chain_strength,
+            )
+            scaled, factor = scale_to_hardware(physical)
+            raw = self._runner._sample_with_retry(
+                machine, scaled, options, resilience
+            )
+            if raw is None:
+                break  # machine went away mid-escalation: keep what we have
+            artifact.physical_model = physical
+            artifact.scaled_model = scaled
+            artifact.info["scale_factor"] = factor
+            artifact.info["chain_strength"] = chain_strength
+            unembedded = unembed_sampleset(
+                raw, artifact.embedding, artifact.solve_model
+            )
+            break_fraction = unembedded.info.get("chain_break_fraction", 0.0)
+
+        resilience["chain_strength_escalations"] = escalations
+        artifact.sampleset = unembedded
+        artifact.info["chain_break_fraction"] = break_fraction
         return artifact
 
     def counters(self, artifact: RunArtifact, context: PipelineContext):
-        return {"samples": len(artifact.sampleset)}
+        resilience = _resilience_state(context)
+        return {
+            "samples": len(artifact.sampleset),
+            "chain_break_fraction": artifact.info.get(
+                "chain_break_fraction", 0.0
+            ),
+            "chain_strength_escalations": resilience[
+                "chain_strength_escalations"
+            ],
+        }
 
 
 class PostprocessStage(Stage):
@@ -351,8 +541,12 @@ class PostprocessStage(Stage):
 
     def skip(self, artifact: RunArtifact, context: PipelineContext) -> bool:
         options: RunOptions = context.options
+        resilience = context.scratch.get("resilience", {})
         return (
             options.solver != "dwave"
+            # Fallback tiers already sample the logical model directly;
+            # there are no unembedding artifacts to repair.
+            or resilience.get("answered_by") not in (None, "dwave")
             or options.postprocess != "optimization"
             or len(artifact.solve_model) == 0
             or not len(artifact.sampleset)
@@ -412,7 +606,7 @@ class QmasmRunner:
             FindEmbeddingStage(self),
             ScaleToHardwareStage(),
             SampleStage(self),
-            UnembedStage(),
+            UnembedStage(self),
             PostprocessStage(self),
         ]
 
@@ -420,6 +614,73 @@ class QmasmRunner:
         if self.machine is None:
             self.machine = DWaveSimulator(seed=self.seed)
         return self.machine
+
+    # ------------------------------------------------------------------
+    # Resilient sampling primitives
+    # ------------------------------------------------------------------
+    def _sample_with_retry(
+        self,
+        machine: DWaveSimulator,
+        model: IsingModel,
+        options: "RunOptions",
+        resilience: Dict,
+    ) -> Optional[SampleSet]:
+        """Sample on the machine under the retry policy.
+
+        Returns ``None`` when every attempt failed transiently (the
+        caller decides whether to fall back); permanent errors (range
+        violations, topology mismatches) propagate immediately.  Each
+        retry runs under one fresh random spin-reversal gauge, so a
+        flaky machine's successful retries also decorrelate its analog
+        bias -- retries double as gauge averaging.
+        """
+        policy = options.retry
+        delay = policy.backoff_s
+        last_error: Optional[Exception] = None
+        for attempt in range(policy.max_sample_attempts):
+            resilience["sample_attempts"] += 1
+            if attempt > 0:
+                resilience["sample_retries"] += 1
+            try:
+                return machine.sample_ising(
+                    model,
+                    num_reads=options.num_reads,
+                    annealing_time_us=options.annealing_time_us,
+                    num_spin_reversal_transforms=(
+                        1 if attempt > 0 and policy.gauge_on_retry else 0
+                    ),
+                )
+            except TransientSolverError as exc:
+                last_error = exc
+                resilience["sample_failures"] += 1
+                if delay > 0.0 and attempt + 1 < policy.max_sample_attempts:
+                    time.sleep(delay)
+                    delay *= policy.backoff_factor
+        resilience["last_error"] = last_error
+        return None
+
+    def _classical_sample(
+        self, solver: str, model: IsingModel, num_reads: int
+    ) -> SampleSet:
+        """One classical tier: the logical model on a software solver."""
+        seed = self.seed
+        if solver == "sa":
+            return SimulatedAnnealingSampler(seed=seed).sample(
+                model, num_reads=num_reads
+            )
+        if solver == "sqa":
+            from repro.solvers.sqa import PathIntegralAnnealer
+
+            return PathIntegralAnnealer(seed=seed).sample(
+                model, num_reads=min(num_reads, 32)
+            )
+        if solver == "exact":
+            return ExactSolver().sample(model, num_lowest=num_reads)
+        if solver == "tabu":
+            return TabuSampler(seed=seed).sample(model, num_reads=num_reads)
+        if solver == "qbsolv":
+            return QBSolv(seed=seed).sample(model, num_reads=min(num_reads, 10))
+        raise ValueError(f"unknown solver {solver!r}")
 
     def run(
         self,
@@ -434,6 +695,7 @@ class QmasmRunner:
         embedding_tries: int = 16,
         embedding_seed: Optional[int] = None,
         postprocess: str = "optimization",
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> RunResult:
         """Assemble and execute a QMASM program.
 
@@ -460,6 +722,10 @@ class QmasmRunner:
                 in for the collective chain dynamics a real annealer has
                 and single-spin-flip simulation lacks; ``"none"``
                 returns raw majority-vote samples.
+            retry_policy: the resilient-execution policy for hardware
+                runs (sample retries with gauge re-randomization,
+                chain-strength escalation, classical fallback tiers);
+                defaults to :class:`RetryPolicy`'s defaults.
 
         Returns:
             A :class:`RunResult` with aggregated, energy-sorted
@@ -483,6 +749,7 @@ class QmasmRunner:
             embedding_tries=embedding_tries,
             embedding_seed=embedding_seed,
             postprocess=postprocess,
+            retry=retry_policy if retry_policy is not None else RetryPolicy(),
         )
         context = PipelineContext(
             options=options, seed=self.seed, trace=self.trace
@@ -503,6 +770,20 @@ class QmasmRunner:
             if record.name in _WALL_TIME_STAGES
         )
         info["roof_duality_fixed"] = len(artifact.fixed)
+        resilience = context.scratch.get("resilience")
+        if resilience is not None:
+            info["answered_by"] = resilience["answered_by"] or solver
+            summary = {
+                k: v
+                for k, v in resilience.items()
+                if k != "last_error" and v not in (None, 0)
+            }
+            if resilience.get("last_error") is not None:
+                summary["last_error"] = str(resilience["last_error"])
+            info["resilience"] = summary
+        machine = context.scratch.get("machine")
+        if machine is not None and machine.faults is not None:
+            info["fault_injection"] = machine.faults.counters()
         solutions = self._report(
             logical, artifact.sampleset, representative, artifact.fixed,
             logical_model,

@@ -15,12 +15,18 @@ reproduced in shape.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple, Union
 
 import networkx as nx
 import numpy as np
 
-from repro.hardware.chimera import DWAVE_2000Q_CELLS, chimera_graph, dropout
+from repro.core.faults import FaultInjector, FaultSpec
+from repro.hardware.chimera import (
+    DWAVE_2000Q_CELLS,
+    chimera_graph,
+    coupler_dropout,
+    dropout,
+)
 from repro.hardware.scaling import H_RANGE, J_RANGE, check_ranges
 from repro.ising.model import IsingModel
 from repro.solvers.neal import SimulatedAnnealingSampler
@@ -35,6 +41,13 @@ class MachineProperties:
     tile: int = 4
     #: Fraction of qubits lost to fabrication drop-out.
     dropout_fraction: float = 0.02
+    #: Fraction of couplers lost to fabrication drop-out (qubits stay).
+    coupler_dropout_fraction: float = 0.0
+    #: Explicitly dead qubits (indices absent from the graph are
+    #: ignored), modeling a unit whose fault map is known exactly.
+    dead_qubits: Tuple[int, ...] = ()
+    #: Explicitly dead couplers, as (u, v) pairs.
+    dead_couplers: Tuple[Tuple[int, int], ...] = ()
     h_range: tuple = H_RANGE
     j_range: tuple = J_RANGE
     #: User-specified annealing time must fall in 1-2000 us.
@@ -61,19 +74,49 @@ class DWaveSimulator:
     every variable a working qubit, every interaction a working coupler,
     every coefficient within range.  Violations raise, exactly as SAPI
     rejects such problems.
+
+    The *working graph* is the yield model: the pristine Chimera minus
+    seeded-random qubit/coupler drop-out, minus any explicitly listed
+    dead qubits and couplers, minus whatever an attached
+    :class:`~repro.core.faults.FaultInjector` kills.  A ``faults``
+    argument additionally arms transient failures: sample calls may
+    raise :class:`~repro.core.faults.TransientSolverError` (failed
+    programming cycles, timeouts) and reads may come back with flipped
+    spins, exactly the degraded behavior a serving fleet must absorb.
     """
 
     def __init__(
         self,
         properties: Optional[MachineProperties] = None,
         seed: Optional[int] = None,
+        faults: Optional[Union[FaultSpec, FaultInjector]] = None,
     ):
         self.properties = properties or MachineProperties()
         props = self.properties
-        full = chimera_graph(props.cells, t=props.tile)
-        self.working_graph: nx.Graph = dropout(
-            full, fraction=props.dropout_fraction, seed=props.dropout_seed
+        graph = chimera_graph(props.cells, t=props.tile)
+        graph = dropout(
+            graph, fraction=props.dropout_fraction, seed=props.dropout_seed
         )
+        if props.coupler_dropout_fraction:
+            graph = coupler_dropout(
+                graph,
+                fraction=props.coupler_dropout_fraction,
+                seed=props.dropout_seed + 1,
+            )
+        if props.dead_qubits:
+            graph.remove_nodes_from(
+                [q for q in props.dead_qubits if q in graph]
+            )
+        if props.dead_couplers:
+            graph.remove_edges_from(
+                [(u, v) for u, v in props.dead_couplers if graph.has_edge(u, v)]
+            )
+        self.faults: Optional[FaultInjector] = (
+            FaultInjector(faults) if isinstance(faults, FaultSpec) else faults
+        )
+        if self.faults is not None and self.faults.spec.has_yield_faults:
+            graph = self.faults.degrade(graph)
+        self.working_graph: nx.Graph = graph
         self._rng = np.random.default_rng(seed)
         self._core = SimulatedAnnealingSampler(
             seed=None if seed is None else seed + 1
@@ -131,6 +174,11 @@ class DWaveSimulator:
         if num_spin_reversal_transforms < 0:
             raise ValueError("num_spin_reversal_transforms must be >= 0")
         self.validate_problem(model)
+        # Transient faults fire after validation, as on the real system:
+        # SAPI rejects malformed problems client-side; programming and
+        # sampling failures happen server-side on well-formed ones.
+        if self.faults is not None:
+            self.faults.before_sample()
 
         num_sweeps = max(8, int(annealing_time_us * props.sweeps_per_us))
         order = list(model.variables)
@@ -161,6 +209,11 @@ class DWaveSimulator:
             records.append(rows.astype(np.int8))
 
         all_records = np.vstack(records)
+        reads_corrupted = 0
+        if self.faults is not None:
+            all_records, reads_corrupted = self.faults.corrupt_records(
+                all_records
+            )
         # Energies must be reported against the ideal problem, not the
         # noisy one the analog fabric actually realized.
         sampleset = SampleSet.from_array(order, all_records, model)
@@ -181,6 +234,8 @@ class DWaveSimulator:
             "noise_applied": apply_noise,
             "num_spin_reversal_transforms": num_spin_reversal_transforms,
         }
+        if reads_corrupted:
+            sampleset.info["injected_read_corruption"] = reads_corrupted
         return sampleset
 
     @staticmethod
