@@ -81,7 +81,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend (default: simulated D-Wave 2000Q)",
     )
     parser.add_argument(
-        "--reads", type=int, default=1000, help="number of anneals/reads"
+        "--num-reads",
+        "--reads",
+        dest="reads",
+        type=int,
+        default=1000,
+        help="number of anneals/reads (--reads is an alias)",
+    )
+    parser.add_argument(
+        "--num-sweeps",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "Metropolis sweeps per read for the classical solvers "
+            "(default: solver-specific; the dwave solver derives sweeps "
+            "from --anneal-time)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "process-pool size for parallel gauge batches (dwave) and "
+            "qbsolv reads; results are bit-identical to serial runs"
+        ),
     )
     parser.add_argument(
         "--anneal-time", type=float, default=20.0, help="anneal time in us"
@@ -216,6 +242,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             pins=args.pin,
             solver=args.solver,
             num_reads=args.reads,
+            num_sweeps=args.num_sweeps,
+            max_workers=args.workers,
             annealing_time_us=args.anneal_time,
             use_roof_duality=args.roof_duality,
             retry_policy=policy,

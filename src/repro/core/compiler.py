@@ -433,10 +433,25 @@ def run_verilog(
     pins: Sequence[str] = (),
     solver: str = "sa",
     num_reads: int = 200,
+    num_sweeps: Optional[int] = None,
+    max_workers: Optional[int] = None,
     seed: Optional[int] = None,
     **options,
 ) -> RunResult:
-    """Compile and execute in one call (quickstart convenience)."""
+    """Compile and execute in one call (quickstart convenience).
+
+    ``num_sweeps`` sets the classical solvers' per-read sweep budget and
+    ``max_workers`` sizes the process pool for parallel gauge batches /
+    qbsolv reads (bit-identical to serial); both default to the
+    runner's behavior when None.
+    """
     compiler = VerilogAnnealerCompiler(seed=seed)
     program = compiler.compile(verilog_source, **options)
-    return compiler.run(program, pins=pins, solver=solver, num_reads=num_reads)
+    return compiler.run(
+        program,
+        pins=pins,
+        solver=solver,
+        num_reads=num_reads,
+        num_sweeps=num_sweeps,
+        max_workers=max_workers,
+    )

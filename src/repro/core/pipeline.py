@@ -135,10 +135,15 @@ class PipelineStats:
         )
 
 
-def _format_count(value: float) -> str:
+def _format_count(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
     if isinstance(value, float) and not value.is_integer():
         return f"{value:.3g}"
-    return str(int(value))
+    if isinstance(value, (int, float)):
+        return str(int(value))
+    # Non-numeric counters (e.g. the sweep-kernel name) pass through.
+    return str(value)
 
 
 class PipelineContext:

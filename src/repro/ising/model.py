@@ -75,6 +75,9 @@ class IsingModel:
         self._h: Dict[Variable, float] = {}
         self._j: Dict[Edge, float] = {}
         self.offset = float(offset)
+        #: Cached CSR adjacency export; invalidated on any mutation of
+        #: ``_h`` or ``_j`` (the offset is not part of the adjacency).
+        self._csr: Optional[tuple] = None
         if h:
             for v, bias in h.items():
                 self.add_variable(v, bias)
@@ -85,13 +88,18 @@ class IsingModel:
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    def _invalidate(self) -> None:
+        self._csr = None
+
     def add_variable(self, v: Variable, bias: float = 0.0) -> None:
         """Add ``bias`` to the linear coefficient of ``v`` (creating it)."""
+        self._invalidate()
         self._h[v] = self._h.get(v, 0.0) + float(bias)
 
     def add_interaction(self, u: Variable, v: Variable, coupling: float) -> None:
         """Add ``coupling`` to the quadratic coefficient of the pair {u, v}."""
         edge = _edge(u, v)
+        self._invalidate()
         self._h.setdefault(u, 0.0)
         self._h.setdefault(v, 0.0)
         self._j[edge] = self._j.get(edge, 0.0) + float(coupling)
@@ -244,17 +252,68 @@ class IsingModel:
             j_mat[j, i] += coupling
         return order, h_vec, j_mat
 
+    # ------------------------------------------------------------------
+    # Sparse form (for the sweep kernels)
+    # ------------------------------------------------------------------
+    def to_csr(self) -> Tuple[list, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(order, h, indptr, indices, data)``: CSR adjacency.
+
+        The symmetric coupling matrix in compressed-sparse-row form:
+        variable ``order[i]``'s neighbors are ``indices[indptr[i]:
+        indptr[i+1]]`` with couplings ``data[indptr[i]:indptr[i+1]]``,
+        column indices sorted ascending.  Zero couplings are dropped, so
+        on hardware-topology models (Chimera degree <= 6) this is the
+        O(nnz) structure the sparse sweep kernels in
+        :mod:`repro.solvers.kernels` iterate over instead of the O(n^2)
+        dense matrix.
+
+        The export is cached on the model and invalidated by any
+        coefficient mutation (``add_variable``, ``add_interaction``,
+        ``update``).  The returned arrays are marked read-only because
+        they are shared with the cache; copy before mutating.
+        """
+        if self._csr is not None:
+            return self._csr
+        order = list(self._h)
+        index = {v: i for i, v in enumerate(order)}
+        n = len(order)
+        h_vec = np.array([self._h[v] for v in order], dtype=float)
+        neighbors: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
+        for (u, v), coupling in self._j.items():
+            if coupling == 0.0:
+                continue
+            i, j = index[u], index[v]
+            neighbors[i].append((j, coupling))
+            neighbors[j].append((i, coupling))
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        for i, adj in enumerate(neighbors):
+            adj.sort()
+            indptr[i + 1] = indptr[i] + len(adj)
+        nnz = int(indptr[-1])
+        indices = np.empty(nnz, dtype=np.int64)
+        data = np.empty(nnz, dtype=float)
+        for i, adj in enumerate(neighbors):
+            start = indptr[i]
+            for k, (j, coupling) in enumerate(adj):
+                indices[start + k] = j
+                data[start + k] = coupling
+        for array in (h_vec, indptr, indices, data):
+            array.setflags(write=False)
+        self._csr = (order, h_vec, indptr, indices, data)
+        return self._csr
+
     def energies(self, samples: np.ndarray, order: Optional[list] = None) -> np.ndarray:
         """Vectorized energy of ``samples`` (n_samples x n_variables spins)."""
-        arr_order, h_vec, j_mat = self.to_arrays()
+        from repro.solvers import kernels
+
+        csr_order, h_vec, indptr, indices, data = self.to_csr()
         if order is not None:
-            if list(order) != arr_order:
-                perm = [list(order).index(v) for v in arr_order]
+            if list(order) != csr_order:
+                perm = [list(order).index(v) for v in csr_order]
                 samples = samples[:, perm]
-        linear = samples @ h_vec
-        # j_mat double-counts each pair, hence the factor 1/2.
-        quad = 0.5 * np.einsum("si,ij,sj->s", samples, j_mat, samples)
-        return linear + quad + self.offset
+        return kernels.batched_energies(
+            h_vec, indptr, indices, data, samples, self.offset
+        )
 
     # ------------------------------------------------------------------
     # Exact solutions (small models only)

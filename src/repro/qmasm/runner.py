@@ -200,6 +200,14 @@ class RunOptions:
 
     solver: str = "dwave"
     num_reads: int = 100
+    #: Metropolis sweeps per read for the classical solvers; None keeps
+    #: each solver's default (the dwave tier derives sweeps from
+    #: ``annealing_time_us`` instead).
+    num_sweeps: Optional[int] = None
+    #: Process-pool size for parallel gauge batches (dwave) and qbsolv
+    #: reads; None/1 runs serially.  Results are bit-identical either
+    #: way -- seeds are split deterministically from the parent RNG.
+    max_workers: Optional[int] = None
     annealing_time_us: float = 20.0
     chain_strength: Optional[float] = None
     pin_strength: Optional[float] = None
@@ -401,7 +409,11 @@ class SampleStage(Stage):
                 self._fall_back(artifact, context, resilience)
         else:
             artifact.sampleset = self._runner._classical_sample(
-                solver, model, num_reads
+                solver,
+                model,
+                num_reads,
+                num_sweeps=options.num_sweeps,
+                max_workers=options.max_workers,
             )
             resilience["answered_by"] = solver
         return artifact
@@ -422,7 +434,11 @@ class SampleStage(Stage):
                 continue
             try:
                 artifact.sampleset = self._runner._classical_sample(
-                    tier, model, options.num_reads
+                    tier,
+                    model,
+                    options.num_reads,
+                    num_sweeps=options.num_sweeps,
+                    max_workers=options.max_workers,
                 )
             except Exception as exc:  # a broken tier just deepens the fall
                 last_error = exc
@@ -439,6 +455,15 @@ class SampleStage(Stage):
 
     def counters(self, artifact: RunArtifact, context: PipelineContext):
         counters = {"samples": len(artifact.sampleset)}
+        # Surface the annealing-core performance counters (which sweep
+        # kernel ran, and how fast) in the --time-passes report.
+        info = artifact.sampleset.info if artifact.sampleset is not None else {}
+        if info.get("kernel"):
+            counters["kernel"] = info["kernel"]
+        if "sweeps_per_s" in info:
+            counters["sweeps_per_s"] = float(info["sweeps_per_s"])
+        if info.get("max_workers"):
+            counters["max_workers"] = info["max_workers"]
         if context.options.solver == "dwave":
             resilience = _resilience_state(context)
             counters.update(
@@ -649,6 +674,7 @@ class QmasmRunner:
                     num_spin_reversal_transforms=(
                         1 if attempt > 0 and policy.gauge_on_retry else 0
                     ),
+                    max_workers=options.max_workers,
                 )
             except TransientSolverError as exc:
                 last_error = exc
@@ -660,26 +686,38 @@ class QmasmRunner:
         return None
 
     def _classical_sample(
-        self, solver: str, model: IsingModel, num_reads: int
+        self,
+        solver: str,
+        model: IsingModel,
+        num_reads: int,
+        num_sweeps: Optional[int] = None,
+        max_workers: Optional[int] = None,
     ) -> SampleSet:
         """One classical tier: the logical model on a software solver."""
         seed = self.seed
         if solver == "sa":
+            kwargs = {} if num_sweeps is None else {"num_sweeps": num_sweeps}
             return SimulatedAnnealingSampler(seed=seed).sample(
-                model, num_reads=num_reads
+                model, num_reads=num_reads, **kwargs
             )
         if solver == "sqa":
             from repro.solvers.sqa import PathIntegralAnnealer
 
+            kwargs = {} if num_sweeps is None else {"num_sweeps": num_sweeps}
             return PathIntegralAnnealer(seed=seed).sample(
-                model, num_reads=min(num_reads, 32)
+                model, num_reads=min(num_reads, 32), **kwargs
             )
         if solver == "exact":
             return ExactSolver().sample(model, num_lowest=num_reads)
         if solver == "tabu":
-            return TabuSampler(seed=seed).sample(model, num_reads=num_reads)
+            kwargs = {} if num_sweeps is None else {"max_iter": num_sweeps}
+            return TabuSampler(seed=seed).sample(
+                model, num_reads=num_reads, **kwargs
+            )
         if solver == "qbsolv":
-            return QBSolv(seed=seed).sample(model, num_reads=min(num_reads, 10))
+            return QBSolv(seed=seed, max_workers=max_workers).sample(
+                model, num_reads=min(num_reads, 10)
+            )
         raise ValueError(f"unknown solver {solver!r}")
 
     def run(
@@ -688,6 +726,8 @@ class QmasmRunner:
         pins: Sequence[Union[str, Pin]] = (),
         solver: str = "dwave",
         num_reads: int = 100,
+        num_sweeps: Optional[int] = None,
+        max_workers: Optional[int] = None,
         annealing_time_us: float = 20.0,
         chain_strength: Optional[float] = None,
         pin_strength: Optional[float] = None,
@@ -710,6 +750,13 @@ class QmasmRunner:
                 the Hitachi-style classical annealer of Section 2),
                 ``"exact"`` (exhaustive), ``"tabu"``, or ``"qbsolv"``.
             num_reads: anneals / reads to perform.
+            num_sweeps: Metropolis sweeps per read for the classical
+                solvers (``sa``/``sqa``; ``tabu`` treats it as its
+                iteration budget); None keeps each solver's default.
+                The dwave tier derives sweeps from ``annealing_time_us``.
+            max_workers: process-pool size for parallel spin-reversal
+                gauge batches (dwave) and qbsolv reads; results are
+                bit-identical to serial runs.
             annealing_time_us: per-anneal time for the dwave solver.
             chain_strength / pin_strength: see
                 :meth:`LogicalProgram.to_ising`.
@@ -742,6 +789,8 @@ class QmasmRunner:
         options = RunOptions(
             solver=solver,
             num_reads=num_reads,
+            num_sweeps=num_sweeps,
+            max_workers=max_workers,
             annealing_time_us=annealing_time_us,
             chain_strength=chain_strength,
             pin_strength=pin_strength,

@@ -17,6 +17,9 @@ this package provides the classical stand-ins:
   and the machine's timing, and delegates the physics to annealing.
 - :mod:`repro.solvers.csp` -- a constraint-propagation + backtracking
   solver standing in for MiniZinc/Chuffed (the Section 6.2 baseline).
+- :mod:`repro.solvers.kernels` -- the shared dense/sparse sweep
+  primitives every software annealer above runs on (bit-identical
+  backends, automatic density crossover).
 """
 
 from repro.solvers.sampleset import Sample, SampleSet

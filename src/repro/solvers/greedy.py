@@ -4,6 +4,11 @@ Deterministic single-spin-flip descent: repeatedly flip the spin whose
 flip lowers the energy most, per read, until no flip helps.  Used to
 polish annealer samples into local minima; also usable as a (weak)
 standalone solver from random starts.
+
+All reads descend simultaneously, and each accepted flip's field update
+goes through the shared dense/sparse kernels -- on embedded (degree <=
+6) models the sparse backend makes a descent step O(reads * degree)
+instead of O(reads * n).
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from typing import Optional
 import numpy as np
 
 from repro.ising.model import IsingModel
+from repro.solvers import kernels
 from repro.solvers.sampleset import SampleSet
 
 
@@ -28,6 +34,7 @@ class SteepestDescentSolver:
         num_reads: int = 10,
         initial_states: Optional[np.ndarray] = None,
         max_sweeps: int = 1000,
+        kernel: Optional[str] = None,
     ) -> SampleSet:
         """Descend to a local minimum from each start.
 
@@ -37,12 +44,15 @@ class SteepestDescentSolver:
                 starts); otherwise inferred from the given states.
             initial_states: optional (reads, n) spin matrix to polish.
             max_sweeps: safety bound on descent sweeps.
+            kernel: ``"dense"``/``"sparse"`` to force a field-update
+                backend; None picks by model size and density.
         """
         order = list(model.variables)
         n = len(order)
         if n == 0:
             return SampleSet.empty([])
-        _, h_vec, j_mat = model.to_arrays()
+        _, h_vec, indptr, indices, data = model.to_csr()
+        chosen = kernels.choose_kernel(n, len(indices), kernel)
 
         if initial_states is not None:
             spins = np.array(initial_states, dtype=float)
@@ -51,7 +61,8 @@ class SteepestDescentSolver:
         else:
             spins = self._rng.choice([-1.0, 1.0], size=(num_reads, n))
 
-        fields = h_vec[None, :] + spins @ j_mat
+        fields = kernels.init_local_fields(h_vec, indptr, indices, data, spins)
+        flip = kernels.make_mixed_flip_updater(chosen, indptr, indices, data)
         for _ in range(max_sweeps):
             # Energy change of each candidate flip; positive s*field
             # means flipping lowers the energy by 2*s*field.
@@ -61,17 +72,13 @@ class SteepestDescentSolver:
             improving = gains[rows, best] > 1e-12
             if not improving.any():
                 break
-            flip_rows = rows[improving]
-            flip_cols = best[improving]
-            old = spins[flip_rows, flip_cols].copy()
-            spins[flip_rows, flip_cols] = -old
-            fields[flip_rows, :] -= 2.0 * old[:, None] * j_mat[flip_cols, :]
+            flip(spins, fields, rows[improving], best[improving])
 
         return SampleSet.from_array(
             order,
             spins.astype(np.int8),
             model,
-            info={"solver": "steepest-descent"},
+            info={"solver": "steepest-descent", "kernel": chosen},
         )
 
     def polish(self, sampleset: SampleSet, model: IsingModel) -> SampleSet:

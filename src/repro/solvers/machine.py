@@ -14,8 +14,9 @@ reproduced in shape.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 import networkx as nx
 import numpy as np
@@ -31,6 +32,22 @@ from repro.hardware.scaling import H_RANGE, J_RANGE, check_ranges
 from repro.ising.model import IsingModel
 from repro.solvers.neal import SimulatedAnnealingSampler
 from repro.solvers.sampleset import SampleSet
+
+
+def _anneal_batch(job) -> Tuple[List, np.ndarray, str]:
+    """Anneal one gauge batch on a private sampler.
+
+    Module-level so a :class:`~concurrent.futures.ProcessPoolExecutor`
+    can pickle it; every stochastic input (the programmed model and the
+    core seed) is baked into ``job`` by the parent, so the result does
+    not depend on which process runs it or in what order.
+    """
+    programmed, batch_reads, num_sweeps, core_seed, kernel = job
+    core = SimulatedAnnealingSampler(seed=core_seed)
+    raw = core.sample(
+        programmed, num_reads=batch_reads, num_sweeps=num_sweeps, kernel=kernel
+    )
+    return list(raw.variables), raw.records, raw.info.get("kernel", "")
 
 
 @dataclass
@@ -118,9 +135,6 @@ class DWaveSimulator:
             graph = self.faults.degrade(graph)
         self.working_graph: nx.Graph = graph
         self._rng = np.random.default_rng(seed)
-        self._core = SimulatedAnnealingSampler(
-            seed=None if seed is None else seed + 1
-        )
 
     @property
     def num_qubits(self) -> int:
@@ -143,6 +157,8 @@ class DWaveSimulator:
         annealing_time_us: float = 20.0,
         apply_noise: bool = True,
         num_spin_reversal_transforms: int = 0,
+        kernel: Optional[str] = None,
+        max_workers: Optional[int] = None,
     ) -> SampleSet:
         """Anneal an embedded problem ``num_reads`` times.
 
@@ -159,6 +175,12 @@ class DWaveSimulator:
                 readout.  This is SAPI's spin-reversal-transform option:
                 the problem is mathematically unchanged but systematic
                 analog biases decorrelate across gauges.
+            kernel: force the annealing core's sweep backend
+                (``"dense"``/``"sparse"``); None auto-selects.
+            max_workers: run the gauge batches in a process pool of this
+                size.  All randomness (gauges, analog noise, per-batch
+                core seeds) is drawn from the simulator RNG *before*
+                dispatch, so results are bit-identical to serial.
 
         Returns:
             A :class:`SampleSet` whose ``info["timing"]`` mirrors a QPU
@@ -188,8 +210,14 @@ class DWaveSimulator:
             num_reads // batches + (1 if i < num_reads % batches else 0)
             for i in range(batches)
         ]
-        records = []
-        for batch, batch_reads in enumerate(reads_per_batch):
+        # Every stochastic input -- gauge draws, analog control noise,
+        # and each batch's annealing-core seed -- is consumed from the
+        # simulator RNG serially *before* any sampling runs.  Batch
+        # execution is therefore a pure function of its job tuple, and
+        # dispatching the jobs to a process pool cannot change results.
+        jobs = []
+        gauges = []
+        for batch_reads in reads_per_batch:
             if batch_reads == 0:
                 continue
             if num_spin_reversal_transforms:
@@ -200,12 +228,22 @@ class DWaveSimulator:
             programmed = (
                 self._apply_control_noise(gauged) if apply_noise else gauged
             )
-            raw = self._core.sample(
-                programmed, num_reads=batch_reads, num_sweeps=num_sweeps
-            )
+            core_seed = int(self._rng.integers(0, 2**63))
+            jobs.append((programmed, batch_reads, num_sweeps, core_seed, kernel))
+            gauges.append(gauge)
+
+        if max_workers is not None and max_workers > 1 and len(jobs) > 1:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                results = list(pool.map(_anneal_batch, jobs))
+        else:
+            results = [_anneal_batch(job) for job in jobs]
+
+        records = []
+        kernel_used = ""
+        for (variables, raw_records, kernel_used), gauge in zip(results, gauges):
             # Undo the gauge on readout (and restore variable order).
-            positions = [raw.variables.index(v) for v in order]
-            rows = raw.records[:, positions].astype(float) * gauge[None, :]
+            positions = [variables.index(v) for v in order]
+            rows = raw_records[:, positions].astype(float) * gauge[None, :]
             records.append(rows.astype(np.int8))
 
         all_records = np.vstack(records)
@@ -231,6 +269,9 @@ class DWaveSimulator:
                 "qpu_access_time_us": props.programming_time_us + anneal_total,
             },
             "num_sweeps": num_sweeps,
+            "num_reads": num_reads,
+            "kernel": kernel_used,
+            "max_workers": max_workers,
             "noise_applied": apply_noise,
             "num_spin_reversal_transforms": num_spin_reversal_transforms,
         }

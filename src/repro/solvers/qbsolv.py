@@ -7,10 +7,17 @@ assignment, repeatedly carve out a subset of variables (those with the
 largest energy impact, plus their neighborhoods), clamp everything else,
 solve the induced subproblem with a subsolver (the "hardware" sampler or
 tabu), and accept improvements until no subproblem helps.
+
+Reads are embarrassingly parallel: with the default tabu subsolver,
+every read runs on a private RNG and subsolver built from a seed the
+parent RNG drew upfront, so ``max_workers > 1`` (a process pool over
+reads) returns bit-identical samples to a serial run.  A custom
+``subsolver`` object is shared state, so those runs stay serial.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Hashable, List, Optional
 
 import numpy as np
@@ -22,6 +29,20 @@ from repro.solvers.tabu import TabuSampler
 Variable = Hashable
 
 
+def _solve_read(job) -> Dict:
+    """One full decomposed solve on a private solver (process-pool safe).
+
+    Module-level so it pickles; the seed in ``job`` fully determines the
+    read's RNG and subsolver, making results independent of scheduling.
+    """
+    model, subproblem_size, num_repeats, seed = job
+    solver = QBSolv(subproblem_size=subproblem_size, seed=seed)
+    order = list(model.variables)
+    return solver._solve_one(
+        model, order, num_repeats, solver._rng, solver.subsolver
+    )
+
+
 class QBSolv:
     """Decomposing solver with a pluggable subproblem sampler."""
 
@@ -30,16 +51,23 @@ class QBSolv:
         subproblem_size: int = 48,
         subsolver=None,
         seed: Optional[int] = None,
+        max_workers: Optional[int] = None,
     ):
         """Args:
             subproblem_size: maximum variables per subproblem (on real
                 hardware this is bounded by the working graph size).
             subsolver: object with ``sample(model, ...) -> SampleSet``;
-                defaults to :class:`TabuSampler`.
+                defaults to :class:`TabuSampler`.  Passing one pins the
+                solve to a single shared sampler, which also disables
+                process-pool reads.
             seed: RNG seed for restarts and region selection.
+            max_workers: default process-pool size for multi-read solves
+                (overridable per :meth:`sample` call).
         """
         self.subproblem_size = subproblem_size
+        self._default_subsolver = subsolver is None
         self.subsolver = subsolver or TabuSampler(seed=seed)
+        self.max_workers = max_workers
         self._rng = np.random.default_rng(seed)
 
     def sample(
@@ -47,6 +75,7 @@ class QBSolv:
         model: IsingModel,
         num_repeats: int = 10,
         num_reads: int = 1,
+        max_workers: Optional[int] = None,
     ) -> SampleSet:
         """Minimize ``model``, decomposing if it exceeds the subproblem size.
 
@@ -55,14 +84,38 @@ class QBSolv:
             num_repeats: outer iterations without improvement before a
                 read terminates.
             num_reads: independent solves, each contributing one row.
+            max_workers: run reads in a process pool of this size
+                (defaults to the constructor's value).  Per-read seeds
+                are drawn from the parent RNG before dispatch, so the
+                samples are bit-identical to a serial run; ignored (and
+                reads stay serial) with a custom subsolver.
         """
         order = list(model.variables)
         if len(order) <= self.subproblem_size:
             return self.subsolver.sample(model, num_reads=max(num_reads, 1))
+        if max_workers is None:
+            max_workers = self.max_workers
 
-        rows = []
-        for _ in range(num_reads):
-            rows.append(self._solve_one(model, order, num_repeats))
+        if self._default_subsolver:
+            # Each read gets a private solver rebuilt from a seed drawn
+            # here, serially -- scheduling cannot change the answer.
+            seeds = self._rng.integers(0, 2**63, size=num_reads)
+            jobs = [
+                (model, self.subproblem_size, num_repeats, int(seed))
+                for seed in seeds
+            ]
+            if max_workers is not None and max_workers > 1 and num_reads > 1:
+                with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                    rows = list(pool.map(_solve_read, jobs))
+            else:
+                rows = [_solve_read(job) for job in jobs]
+        else:
+            rows = [
+                self._solve_one(
+                    model, order, num_repeats, self._rng, self.subsolver
+                )
+                for _ in range(num_reads)
+            ]
         records = np.array(
             [[assignment[v] for v in order] for assignment in rows], dtype=np.int8
         )
@@ -70,15 +123,25 @@ class QBSolv:
             order,
             records,
             model,
-            info={"solver": "qbsolv", "subproblem_size": self.subproblem_size},
+            info={
+                "solver": "qbsolv",
+                "subproblem_size": self.subproblem_size,
+                "num_reads": num_reads,
+                "max_workers": max_workers if self._default_subsolver else None,
+            },
         )
 
     # ------------------------------------------------------------------
     def _solve_one(
-        self, model: IsingModel, order: List[Variable], num_repeats: int
+        self,
+        model: IsingModel,
+        order: List[Variable],
+        num_repeats: int,
+        rng: np.random.Generator,
+        subsolver,
     ) -> Dict[Variable, int]:
         assignment: Dict[Variable, int] = {
-            v: int(self._rng.choice([-1, 1])) for v in order
+            v: int(rng.choice([-1, 1])) for v in order
         }
         energy = model.energy(assignment)
         stall = 0
@@ -88,12 +151,12 @@ class QBSolv:
             # the worst local contributions; BFS-connected regions sweep
             # out domain walls that span any single impact region.
             if use_impact:
-                region = self._select_region(model, assignment)
+                region = self._select_region(model, assignment, rng)
             else:
-                region = self._select_connected_region(model)
+                region = self._select_connected_region(model, rng)
             use_impact = not use_impact
             sub = self._clamped_subproblem(model, assignment, region)
-            best = self.subsolver.sample(sub, num_reads=1).first
+            best = subsolver.sample(sub, num_reads=1).first
             candidate = dict(assignment)
             candidate.update(best.assignment)
             candidate_energy = model.energy(candidate)
@@ -110,7 +173,10 @@ class QBSolv:
         return assignment
 
     def _select_region(
-        self, model: IsingModel, assignment: Dict[Variable, int]
+        self,
+        model: IsingModel,
+        assignment: Dict[Variable, int],
+        rng: np.random.Generator,
     ) -> List[Variable]:
         """Pick the variables with the largest local energy impact.
 
@@ -129,11 +195,13 @@ class QBSolv:
             impact[v] = impact.get(v, 0.0) + term
         # Positive contribution == currently paying energy: flip candidates.
         scored = sorted(
-            impact, key=lambda v: impact[v] + self._rng.normal(0, 1e-6), reverse=True
+            impact, key=lambda v: impact[v] + rng.normal(0, 1e-6), reverse=True
         )
         return scored[: self.subproblem_size]
 
-    def _select_connected_region(self, model: IsingModel) -> List[Variable]:
+    def _select_connected_region(
+        self, model: IsingModel, rng: np.random.Generator
+    ) -> List[Variable]:
         """A BFS ball around a random variable in the interaction graph."""
         adjacency: Dict[Variable, List[Variable]] = {v: [] for v in model.variables}
         for (u, v), coupling in model.quadratic.items():
@@ -141,7 +209,7 @@ class QBSolv:
                 adjacency[u].append(v)
                 adjacency[v].append(u)
         order = list(model.variables)
-        start = order[int(self._rng.integers(0, len(order)))]
+        start = order[int(rng.integers(0, len(order)))]
         region: List[Variable] = []
         seen = {start}
         queue = [start]
@@ -155,7 +223,7 @@ class QBSolv:
         # Pad with random variables if the component was small.
         if len(region) < self.subproblem_size:
             extras = [v for v in order if v not in seen]
-            self._rng.shuffle(extras)
+            rng.shuffle(extras)
             region.extend(extras[: self.subproblem_size - len(region)])
         return region
 

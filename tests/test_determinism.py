@@ -1,0 +1,133 @@
+"""Seed-determinism suite: every solver must be bit-reproducible.
+
+Three invariants, per the sparse-kernel acceptance criteria:
+
+1. a fixed seed yields bit-identical SampleSets across runs;
+2. the dense and sparse sweep kernels are sample-for-sample identical
+   (they share the accept logic and RNG stream; the dense field update
+   only adds exact zeros where the sparse one touches nothing);
+3. ``max_workers > 1`` (process-pool gauge batches / qbsolv reads) is
+   bit-identical to serial, because every seed, gauge, and noise draw
+   happens in the parent RNG before dispatch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ising.model import IsingModel
+from repro.solvers.greedy import SteepestDescentSolver
+from repro.solvers.machine import DWaveSimulator, MachineProperties
+from repro.solvers.neal import SimulatedAnnealingSampler
+from repro.solvers.qbsolv import QBSolv
+from repro.solvers.sqa import PathIntegralAnnealer
+from repro.solvers.tabu import TabuSampler
+
+
+def _sparse_model(n=80, seed=7):
+    """A random sparse model big enough to auto-select the sparse kernel."""
+    rng = np.random.default_rng(seed)
+    model = IsingModel()
+    for i in range(n):
+        model.add_variable(i, float(rng.normal(0, 0.5)))
+        model.add_interaction(i, (i + 1) % n, float(rng.choice([-1.0, 1.0])))
+    for _ in range(n):
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            model.add_interaction(int(u), int(v), float(rng.normal(0, 0.5)))
+    return model
+
+
+def _assert_identical(a, b):
+    assert list(a.variables) == list(b.variables)
+    np.testing.assert_array_equal(a.records, b.records)
+    np.testing.assert_array_equal(a.energies, b.energies)
+
+
+SOLVERS = {
+    "neal": lambda seed, kernel: SimulatedAnnealingSampler(seed=seed).sample(
+        _sparse_model(), num_reads=8, num_sweeps=30, kernel=kernel
+    ),
+    "sqa": lambda seed, kernel: PathIntegralAnnealer(seed=seed).sample(
+        _sparse_model(),
+        num_reads=4,
+        num_sweeps=15,
+        trotter_slices=4,
+        kernel=kernel,
+    ),
+    "tabu": lambda seed, kernel: TabuSampler(seed=seed).sample(
+        _sparse_model(), num_reads=4, max_iter=150, kernel=kernel
+    ),
+    "greedy": lambda seed, kernel: SteepestDescentSolver(seed=seed).sample(
+        _sparse_model(), num_reads=8, kernel=kernel
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SOLVERS))
+def test_fixed_seed_is_bit_reproducible(name):
+    run = SOLVERS[name]
+    _assert_identical(run(123, None), run(123, None))
+
+
+@pytest.mark.parametrize("name", sorted(SOLVERS))
+def test_dense_and_sparse_kernels_identical(name):
+    run = SOLVERS[name]
+    dense = run(42, "dense")
+    sparse = run(42, "sparse")
+    _assert_identical(dense, sparse)
+    assert dense.info.get("kernel", "dense") == "dense"
+    assert sparse.info.get("kernel", "sparse") == "sparse"
+
+
+def test_auto_kernel_selects_sparse_on_embedded_scale_model():
+    result = SimulatedAnnealingSampler(seed=0).sample(
+        _sparse_model(), num_reads=2, num_sweeps=5
+    )
+    assert result.info["kernel"] == "sparse"
+
+
+# ----------------------------------------------------------------------
+# Parallel outer loops: serial vs process pool
+# ----------------------------------------------------------------------
+def _machine_problem():
+    props = MachineProperties(cells=4, dropout_fraction=0.0)
+    machine = DWaveSimulator(properties=props, seed=11)
+    model = IsingModel()
+    for u, v in list(machine.working_graph.edges())[:12]:
+        model.add_variable(u, 0.25)
+        model.add_variable(v, -0.25)
+        model.add_interaction(u, v, -1.0)
+    return props, model
+
+
+def test_machine_gauge_batches_parallel_identical_to_serial():
+    props, model = _machine_problem()
+    serial = DWaveSimulator(properties=props, seed=11).sample_ising(
+        model, num_reads=12, num_spin_reversal_transforms=4
+    )
+    pooled = DWaveSimulator(properties=props, seed=11).sample_ising(
+        model, num_reads=12, num_spin_reversal_transforms=4, max_workers=2
+    )
+    _assert_identical(serial, pooled)
+
+
+def test_machine_same_seed_reproducible():
+    props, model = _machine_problem()
+    first = DWaveSimulator(properties=props, seed=3).sample_ising(
+        model, num_reads=10, num_spin_reversal_transforms=2
+    )
+    second = DWaveSimulator(properties=props, seed=3).sample_ising(
+        model, num_reads=10, num_spin_reversal_transforms=2
+    )
+    _assert_identical(first, second)
+
+
+def test_qbsolv_parallel_reads_identical_to_serial():
+    model = _sparse_model(40, seed=9)
+    serial = QBSolv(subproblem_size=16, seed=5).sample(
+        model, num_repeats=4, num_reads=3
+    )
+    pooled = QBSolv(subproblem_size=16, seed=5).sample(
+        model, num_repeats=4, num_reads=3, max_workers=2
+    )
+    _assert_identical(serial, pooled)
