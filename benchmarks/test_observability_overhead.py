@@ -1,0 +1,92 @@
+"""Disabled-tracer overhead: instrumentation must be (nearly) free.
+
+The observability layer (repro.core.trace) promises zero overhead when
+disabled -- the default state of every production anneal.  This
+benchmark quantifies that promise two ways:
+
+* **microbenchmark** -- the per-call cost of a disabled ``span()`` /
+  ``counter().inc()`` round trip, which bounds the total added cost
+  (the hot paths make a handful of such calls per *run*, never per
+  sweep);
+* **end to end** -- the map-coloring anneal (the PR-3 baseline
+  workload) timed with instrumentation present-but-disabled must stay
+  within 2% of the pure solver time, measured as the instrumentation
+  calls' share of the anneal.
+
+Set ``REPRO_BENCH_SMOKE=1`` for a scaled-down run; smoke mode skips
+the percentage floor (CI jitter must never gate a merge) but still
+exercises every path.
+
+Reproduce with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_observability_overhead.py -s -q
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core import trace
+from repro.core.mapcolor import unary_map_coloring_model
+from repro.solvers.neal import SimulatedAnnealingSampler
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+NUM_READS = 50 if SMOKE else 400
+NUM_SWEEPS = 16 if SMOKE else 64
+REPEATS = 1 if SMOKE else 3
+#: The acceptance bound: disabled instrumentation under 2% of solve time.
+OVERHEAD_CEILING = 0.02
+#: Disabled calls the instrumented hot path makes per anneal (span +
+#: attrs in the stage wrapper, observe_sample's single enabled() check,
+#: a few cache counters) -- a generous overestimate.
+CALLS_PER_RUN = 100
+
+
+def _disabled_call_cost_s(iterations: int = 20000) -> float:
+    """Per-iteration cost of one disabled span + counter + event round."""
+    assert not trace.enabled()
+    best = float("inf")
+    for _ in range(max(1, REPEATS)):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            with trace.span("bench.noop", attr=1):
+                pass
+            trace.metrics().counter("bench.noop").inc()
+            trace.event("bench.noop")
+        best = min(best, time.perf_counter() - start)
+    return best / iterations
+
+
+def _anneal_time_s() -> float:
+    model = unary_map_coloring_model()
+    best = float("inf")
+    for _ in range(REPEATS):
+        sampler = SimulatedAnnealingSampler(seed=0)
+        start = time.perf_counter()
+        sampler.sample(model, num_reads=NUM_READS, num_sweeps=NUM_SWEEPS)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_instrumentation_under_two_percent():
+    assert not trace.enabled(), "benchmark requires the disabled default"
+    before = trace.span_allocations()
+    call_s = _disabled_call_cost_s()
+    anneal_s = _anneal_time_s()
+    assert trace.span_allocations() == before, (
+        "disabled path allocated span records"
+    )
+
+    overhead_s = CALLS_PER_RUN * call_s
+    share = overhead_s / anneal_s
+    print(
+        f"\ndisabled-call cost: {call_s * 1e9:.0f} ns/round, "
+        f"anneal: {anneal_s * 1e3:.1f} ms, "
+        f"overhead share ({CALLS_PER_RUN} calls/run): {share * 100:.4f}%"
+    )
+    if not SMOKE:
+        assert share < OVERHEAD_CEILING, (
+            f"disabled instrumentation costs {share * 100:.2f}% of the "
+            f"anneal (ceiling {OVERHEAD_CEILING * 100:.0f}%)"
+        )

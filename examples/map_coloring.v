@@ -1,0 +1,16 @@
+// Map coloring of Australia's states/territories (paper Listing 7).
+//
+// Each region gets a 2-bit color; `valid` is 1 iff no two adjacent
+// regions share a color.  Compile and anneal with `valid` pinned true
+// to sample proper 4-colorings:
+//
+//   python -m repro run examples/map_coloring.v \
+//       --pin 'valid := true' --solver sa --num-reads 400
+module australia (NSW, QLD, SA, VIC, WA, NT, ACT, valid);
+   input [1:0] NSW, QLD, SA, VIC, WA, NT, ACT;
+   output valid;
+
+   assign valid = WA != NT && WA != SA && NT != SA && NT !=
+       QLD && SA != QLD && SA != NSW && SA != VIC && QLD
+       != NSW && NSW != VIC && NSW != ACT;
+endmodule

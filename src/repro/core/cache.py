@@ -35,6 +35,7 @@ from typing import Any, Dict, Optional
 
 import networkx as nx
 
+from repro.core import trace
 from repro.hardware.embedding import graph_fingerprint
 
 logger = logging.getLogger(__name__)
@@ -96,7 +97,16 @@ class ArtifactCache:
             nothing, so ``--no-cache`` paths need no special casing.
         max_entries: in-memory entry cap; the oldest entries are evicted
             first (insertion order) once the cap is exceeded.
+
+    Besides the per-instance :attr:`stats`, every incident is counted on
+    the ambient metrics registry under ``cache.<metric_name>.*``
+    (:mod:`repro.core.trace`) -- the process-wide aggregate across all
+    instances of a cache kind, from which the summary renderer derives
+    ``cache.<metric_name>.hit_ratio``.
     """
+
+    #: Namespace for this cache kind's ambient metrics.
+    metric_name = "artifact"
 
     def __init__(
         self,
@@ -112,19 +122,27 @@ class ArtifactCache:
         self._disk_warned = False
 
     # ------------------------------------------------------------------
+    def _count(self, event: str) -> None:
+        """Bump the ambient per-kind counter (no-op unless installed)."""
+        trace.metrics().counter(f"cache.{self.metric_name}.{event}").inc()
+
     def get(self, key: str) -> Optional[Any]:
         if not self.enabled:
             self.stats.misses += 1
+            self._count("misses")
             return None
         if key in self._memory:
             self.stats.hits += 1
+            self._count("hits")
             return self._memory[key]
         value = self._disk_get(key)
         if value is not None:
             self._memory_put(key, value)
             self.stats.hits += 1
+            self._count("hits")
             return value
         self.stats.misses += 1
+        self._count("misses")
         return None
 
     def put(self, key: str, value: Any) -> None:
@@ -133,6 +151,7 @@ class ArtifactCache:
         self._memory_put(key, value)
         self._disk_put(key, value)
         self.stats.stores += 1
+        self._count("stores")
 
     def clear(self) -> None:
         self._memory.clear()
@@ -159,6 +178,7 @@ class ArtifactCache:
         logs, not swallowed.
         """
         self.stats.disk_errors += 1
+        self._count("disk_errors")
         if not self._disk_warned:
             self._disk_warned = True
             logger.warning(
@@ -213,6 +233,8 @@ class CompilationCache(ArtifactCache):
     (e.g. a different ``unroll_steps``) is a distinct entry.
     """
 
+    metric_name = "compile"
+
     @staticmethod
     def key_for(source: str, options: Any) -> str:
         return stable_hash("verilog:" + source, "options:" + options_fingerprint(options))
@@ -235,6 +257,8 @@ class EmbeddingCache(ArtifactCache):
     model or fault injection) never reuses an embedding found for a
     healthier -- or differently damaged -- unit.
     """
+
+    metric_name = "embedding"
 
     @staticmethod
     def key_for(

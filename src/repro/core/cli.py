@@ -15,6 +15,19 @@ Pipeline introspection flags:
 ``--no-cache``
     bypass the compilation and embedding caches.
 
+Observability flags (see ``repro.core.trace``):
+
+``--trace out.json``
+    record hierarchical spans for every compile/run stage (plus solver
+    and embedding internals) and write a Chrome ``trace_event`` file,
+    viewable in ``about:tracing`` or https://ui.perfetto.dev.
+``--metrics``
+    print the process metrics summary (counters, gauges, histograms)
+    to stderr after the command finishes.
+
+``python -m repro run design.v ...`` is accepted as sugar for
+``python -m repro design.v ... --run``.
+
 Fault-tolerance flags (see ``repro.core.faults``):
 
 ``--inject-fault SPEC``
@@ -164,11 +177,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail instead of degrading to classical solvers when the "
         "hardware stays unavailable",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help=(
+            "record a hierarchical execution trace and write it as a "
+            "Chrome trace_event JSON file (open in about:tracing or "
+            "https://ui.perfetto.dev)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the process metrics summary (counters, gauges, "
+        "histograms) after the command finishes",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # ``python -m repro run design.v ...`` is sugar for ``design.v ...
+    # --run`` -- the paper's compile-then-execute flow as a subcommand.
+    if argv and argv[0] == "run":
+        argv = list(argv[1:]) + ["--run"]
     args = build_parser().parse_args(argv)
+
+    from repro.core import trace as _trace
+
+    if args.trace or args.metrics:
+        _trace.install()
+    try:
+        return _run_command(args)
+    finally:
+        if args.trace:
+            _trace.tracer().write_chrome_trace(args.trace)
+        if args.metrics:
+            print(_trace.metrics().render_summary(), file=sys.stderr)
+        if args.trace or args.metrics:
+            _trace.uninstall()
+
+
+def _run_command(args: argparse.Namespace) -> int:
     if args.source == "-":
         source = sys.stdin.read()
     else:

@@ -39,6 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.core import trace as _trace
 from repro.core.cache import CompilationCache, EmbeddingCache
 from repro.core.pipeline import (
     PassManager,
@@ -362,28 +363,31 @@ class VerilogAnnealerCompiler:
         elif kwargs:
             raise TypeError("pass either options or keyword overrides, not both")
 
-        cache_key = CompilationCache.key_for(verilog_source, options)
-        cached = self.compile_cache.get(cache_key)
-        if cached is not None:
-            return cached
+        with _trace.span("compile") as span:
+            cache_key = CompilationCache.key_for(verilog_source, options)
+            cached = self.compile_cache.get(cache_key)
+            if cached is not None:
+                span.set_attributes(cached=True)
+                return cached
 
-        context = PipelineContext(
-            options=options, seed=self.seed, trace=self.trace
-        )
-        artifact = PassManager(self.compile_stages).run(
-            CompileArtifact(source=verilog_source), context
-        )
-        program = CompiledProgram(
-            verilog_source=verilog_source,
-            elaborated=artifact.elaborated,
-            netlist=artifact.netlist,
-            edif_text=artifact.edif_text,
-            qmasm_source=artifact.qmasm_source,
-            logical=artifact.logical,
-            options=options,
-            stats=context.stats,
-        )
-        self.compile_cache.put(cache_key, program)
+            context = PipelineContext(
+                options=options, seed=self.seed, trace=self.trace
+            )
+            artifact = PassManager(self.compile_stages, name="compile").run(
+                CompileArtifact(source=verilog_source), context
+            )
+            program = CompiledProgram(
+                verilog_source=verilog_source,
+                elaborated=artifact.elaborated,
+                netlist=artifact.netlist,
+                edif_text=artifact.edif_text,
+                qmasm_source=artifact.qmasm_source,
+                logical=artifact.logical,
+                options=options,
+                stats=context.stats,
+            )
+            self.compile_cache.put(cache_key, program)
+            span.set_attributes(cached=False)
         return program
 
     # ------------------------------------------------------------------

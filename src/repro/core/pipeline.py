@@ -28,6 +28,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
+from repro.core import trace as _trace
+from repro.core.trace import MetricsRegistry
+
 #: A trace event is a plain dict: ``{"stage": name, "event": "begin"}``
 #: or ``{"stage": name, "event": "end", "wall_time_s": float,
 #: "cached": bool, "skipped": bool, "counters": {...}}``.
@@ -154,7 +157,12 @@ class PipelineContext:
             compilation, a :class:`~repro.qmasm.runner.RunOptions` for
             execution).
         seed: the driver's RNG seed, for stages with randomized behavior.
-        stats: the metrics sink stages record into.
+        stats: the per-stage record sink stages record into.
+        metrics: the run-scoped :class:`~repro.core.trace.MetricsRegistry`
+            stages record counters into.  Parented to the ambient
+            process registry, so every increment is visible both on this
+            run's result and in the process-wide summary without ever
+            being computed twice.
         trace: optional callback receiving begin/end trace events.
         scratch: shared mutable storage for stage-to-stage side data
             that is not part of the artifact proper (e.g. the lazily
@@ -167,11 +175,17 @@ class PipelineContext:
         seed: Optional[int] = None,
         trace: Optional[TraceCallback] = None,
         stats: Optional[PipelineStats] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.options = options
         self.seed = seed
         self.trace = trace
         self.stats = stats if stats is not None else PipelineStats()
+        self.metrics = (
+            metrics
+            if metrics is not None
+            else MetricsRegistry(parent=_trace.metrics())
+        )
         self.scratch: Dict[str, Any] = {}
         self._cached = False
         self._extra_counters: Dict[str, float] = {}
@@ -246,27 +260,40 @@ class PassManager:
     Stages that declare themselves inapplicable (``skip``) still get a
     record (with ``skipped=True``) so the stats table always shows the
     full pipeline shape.
+
+    Every stage additionally runs inside an ambient trace span named
+    ``<pipeline>.<stage>`` (``compile.techmap``, ``run.sample``, ...)
+    carrying the stage's cached/skipped flags and counters as span
+    attributes -- a no-op unless a tracer is installed
+    (:mod:`repro.core.trace`).
     """
 
-    def __init__(self, stages: Sequence[Stage]):
+    def __init__(self, stages: Sequence[Stage], name: Optional[str] = None):
         self.stages: List[Stage] = list(stages)
+        #: Span-name prefix for this pipeline ("compile", "run", ...).
+        self.name = name
 
     def stage_names(self) -> List[str]:
         return [stage.name for stage in self.stages]
 
     def run(self, artifact: Any, context: PipelineContext) -> Any:
+        prefix = f"{self.name}." if self.name else ""
         for stage in self.stages:
             context._begin_stage()
             context.emit({"stage": stage.name, "event": "begin"})
-            start = time.perf_counter()
-            skipped = stage.skip(artifact, context)
-            if not skipped:
-                artifact = stage.run(artifact, context)
-            elapsed = time.perf_counter() - start
-            counters: Dict[str, float] = {}
-            if not skipped:
-                counters.update(stage.counters(artifact, context))
-            counters.update(context._extra_counters)
+            with _trace.span(prefix + stage.name) as span:
+                start = time.perf_counter()
+                skipped = stage.skip(artifact, context)
+                if not skipped:
+                    artifact = stage.run(artifact, context)
+                elapsed = time.perf_counter() - start
+                counters: Dict[str, float] = {}
+                if not skipped:
+                    counters.update(stage.counters(artifact, context))
+                counters.update(context._extra_counters)
+                span.set_attributes(
+                    cached=context._cached, skipped=skipped, **counters
+                )
             record = StageRecord(
                 name=stage.name,
                 wall_time_s=elapsed,

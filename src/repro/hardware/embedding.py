@@ -32,6 +32,7 @@ import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra as _sparse_dijkstra
 
+from repro.core import trace
 from repro.ising.model import IsingModel
 from repro.solvers.sampleset import SampleSet
 
@@ -466,6 +467,7 @@ def find_embedding(
     rng = random.Random(seed)
     last_error: Optional[Exception] = None
     restarts = 0
+    started = time.perf_counter()
     for attempt in range(1, max_attempts + 1):
         attempt_rounds = rounds * (1 << (attempt - 1))
         for _ in range(tries):
@@ -481,9 +483,18 @@ def find_embedding(
             if embedding is not None:
                 if stats is not None:
                     stats.update(attempts=attempt, restarts=restarts)
+                _observe_embedding(
+                    embedding,
+                    time.perf_counter() - started,
+                    attempts=attempt,
+                    restarts=restarts,
+                    source_size=len(source),
+                    target_size=len(target),
+                )
                 return embedding
         if attempt < max_attempts and backoff_s > 0.0:
             time.sleep(backoff_s * (1 << (attempt - 1)))
+    trace.metrics().counter("embed.failures").inc()
     raise EmbeddingError(
         "no embedding found within the retry budget"
         + (f" (last error: {last_error})" if last_error else ""),
@@ -493,6 +504,28 @@ def find_embedding(
         attempts=max_attempts,
         restarts=restarts,
     )
+
+
+def _observe_embedding(
+    embedding: "Embedding",
+    elapsed_s: float,
+    **attributes: float,
+) -> None:
+    """Record a successful embedding search on the ambient collectors."""
+    if not trace.enabled():
+        return
+    chain_lengths = [len(chain) for chain in embedding.chains.values()]
+    trace.record(
+        "embed.find_embedding",
+        duration_s=elapsed_s,
+        physical_qubits=sum(chain_lengths),
+        max_chain=max(chain_lengths, default=0),
+        **attributes,
+    )
+    registry = trace.metrics()
+    registry.counter("embed.attempts").inc(attributes.get("attempts", 0))
+    registry.counter("embed.restarts").inc(attributes.get("restarts", 0))
+    registry.histogram("embed.chain_length").observe_many(chain_lengths)
 
 
 def source_graph_of(model: IsingModel) -> nx.Graph:

@@ -35,6 +35,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.core import trace as _trace
 from repro.core.cache import EmbeddingCache
 from repro.core.faults import TransientSolverError
 from repro.core.pipeline import (
@@ -44,6 +45,7 @@ from repro.core.pipeline import (
     Stage,
     TraceCallback,
 )
+from repro.core.trace import MetricsRegistry, Span
 from repro.hardware.embedding import (
     Embedding,
     default_chain_strength,
@@ -114,6 +116,12 @@ class RunResult:
     info: Dict = field(default_factory=dict)
     #: Per-stage wall times and counters for this execution.
     stats: PipelineStats = field(default_factory=PipelineStats)
+    #: The run-scoped metrics registry: every retry/fallback/escalation
+    #: counter the run recorded, queryable by name
+    #: (``result.metrics.value("runner.sample_retries")``).
+    metrics: Optional[MetricsRegistry] = None
+    #: The run's root trace span when tracing was enabled, else None.
+    trace: Optional[Span] = None
 
     @property
     def valid_solutions(self) -> List[Solution]:
@@ -315,7 +323,6 @@ class FindEmbeddingStage(Stage):
             )
             cache.put(key, embedding)
             artifact.info["embedding_cache"] = "miss" if cache.enabled else "off"
-            artifact.info["embedding_stats"] = dict(estats)
             context.add_counters(**estats)
         artifact.embedding = embedding
         return artifact
@@ -355,19 +362,16 @@ class ScaleToHardwareStage(Stage):
         }
 
 
-def _resilience_state(context: PipelineContext) -> Dict:
-    """The run-wide resilience scoreboard, shared across stages."""
-    return context.scratch.setdefault(
-        "resilience",
-        {
-            "sample_attempts": 0,
-            "sample_retries": 0,
-            "sample_failures": 0,
-            "fallback_depth": 0,
-            "chain_strength_escalations": 0,
-            "answered_by": None,
-        },
-    )
+#: The run-wide resilience counters, all kept on the run-scoped metrics
+#: registry (``context.metrics``) under ``runner.<name>`` -- the single
+#: source both the stage counters and ``info["resilience"]`` read from.
+_RESILIENCE_COUNTERS = (
+    "sample_attempts",
+    "sample_retries",
+    "sample_failures",
+    "fallback_depth",
+    "chain_strength_escalations",
+)
 
 
 class SampleStage(Stage):
@@ -391,7 +395,7 @@ class SampleStage(Stage):
         solver = options.solver
         num_reads = options.num_reads
         model = artifact.solve_model
-        resilience = _resilience_state(context)
+        context.scratch.setdefault("answered_by", None)
 
         if len(model) == 0:
             # Everything was determined a priori.
@@ -399,14 +403,14 @@ class SampleStage(Stage):
         elif solver == "dwave":
             machine = context.scratch["machine"]
             raw = self._runner._sample_with_retry(
-                machine, artifact.scaled_model, options, resilience
+                machine, artifact.scaled_model, options, context
             )
             if raw is not None:
                 artifact.info["timing"] = raw.info.get("timing", {})
                 artifact.sampleset = raw
-                resilience["answered_by"] = "dwave"
+                context.scratch["answered_by"] = "dwave"
             else:
-                self._fall_back(artifact, context, resilience)
+                self._fall_back(artifact, context)
         else:
             artifact.sampleset = self._runner._classical_sample(
                 solver,
@@ -415,20 +419,15 @@ class SampleStage(Stage):
                 num_sweeps=options.num_sweeps,
                 max_workers=options.max_workers,
             )
-            resilience["answered_by"] = solver
+            context.scratch["answered_by"] = solver
         return artifact
 
-    def _fall_back(
-        self,
-        artifact: RunArtifact,
-        context: PipelineContext,
-        resilience: Dict,
-    ) -> None:
+    def _fall_back(self, artifact: RunArtifact, context: PipelineContext) -> None:
         """Degrade through the classical tiers after hardware gave up."""
         options: RunOptions = context.options
         policy = options.retry
         model = artifact.solve_model
-        last_error: Optional[Exception] = resilience.get("last_error")
+        last_error: Optional[Exception] = context.scratch.get("last_error")
         for depth, tier in enumerate(policy.fallback_solvers, start=1):
             if tier == "exact" and len(model) > policy.exact_fallback_limit:
                 continue
@@ -443,8 +442,10 @@ class SampleStage(Stage):
             except Exception as exc:  # a broken tier just deepens the fall
                 last_error = exc
                 continue
-            resilience["answered_by"] = tier
-            resilience["fallback_depth"] = depth
+            context.scratch["answered_by"] = tier
+            context.metrics.gauge("runner.fallback_depth").set(depth)
+            context.metrics.counter("runner.fallbacks").inc()
+            _trace.event("runner.fallback", tier=tier, depth=depth)
             artifact.info["fallback_solver"] = tier
             return
         raise TransientSolverError(
@@ -465,12 +466,12 @@ class SampleStage(Stage):
         if info.get("max_workers"):
             counters["max_workers"] = info["max_workers"]
         if context.options.solver == "dwave":
-            resilience = _resilience_state(context)
+            metrics = context.metrics
             counters.update(
-                sample_attempts=resilience["sample_attempts"],
-                sample_retries=resilience["sample_retries"],
-                sample_failures=resilience["sample_failures"],
-                fallback_depth=resilience["fallback_depth"],
+                sample_attempts=int(metrics.value("runner.sample_attempts")),
+                sample_retries=int(metrics.value("runner.sample_retries")),
+                sample_failures=int(metrics.value("runner.sample_failures")),
+                fallback_depth=int(metrics.value("runner.fallback_depth")),
             )
         return counters
 
@@ -496,13 +497,11 @@ class UnembedStage(Stage):
             return True
         # A classical fallback tier answered over the *logical* model;
         # there is nothing embedded to undo.
-        resilience = context.scratch.get("resilience", {})
-        return resilience.get("answered_by") not in (None, "dwave")
+        return context.scratch.get("answered_by") not in (None, "dwave")
 
     def run(self, artifact: RunArtifact, context: PipelineContext):
         options: RunOptions = context.options
         policy = options.retry
-        resilience = _resilience_state(context)
         unembedded = unembed_sampleset(
             artifact.sampleset, artifact.embedding, artifact.solve_model
         )
@@ -515,6 +514,12 @@ class UnembedStage(Stage):
             and escalations < policy.max_chain_strength_escalations
         ):
             escalations += 1
+            context.metrics.counter("runner.chain_strength_escalations").inc()
+            _trace.event(
+                "runner.chain_strength_escalation",
+                escalation=escalations,
+                break_fraction=break_fraction,
+            )
             chain_strength *= policy.chain_strength_factor
             machine = context.scratch["machine"]
             physical = embed_ising(
@@ -525,7 +530,7 @@ class UnembedStage(Stage):
             )
             scaled, factor = scale_to_hardware(physical)
             raw = self._runner._sample_with_retry(
-                machine, scaled, options, resilience
+                machine, scaled, options, context
             )
             if raw is None:
                 break  # machine went away mid-escalation: keep what we have
@@ -538,21 +543,22 @@ class UnembedStage(Stage):
             )
             break_fraction = unembedded.info.get("chain_break_fraction", 0.0)
 
-        resilience["chain_strength_escalations"] = escalations
+        context.metrics.histogram("runner.chain_break_fraction").observe(
+            break_fraction
+        )
         artifact.sampleset = unembedded
         artifact.info["chain_break_fraction"] = break_fraction
         return artifact
 
     def counters(self, artifact: RunArtifact, context: PipelineContext):
-        resilience = _resilience_state(context)
         return {
             "samples": len(artifact.sampleset),
             "chain_break_fraction": artifact.info.get(
                 "chain_break_fraction", 0.0
             ),
-            "chain_strength_escalations": resilience[
-                "chain_strength_escalations"
-            ],
+            "chain_strength_escalations": int(
+                context.metrics.value("runner.chain_strength_escalations")
+            ),
         }
 
 
@@ -566,12 +572,11 @@ class PostprocessStage(Stage):
 
     def skip(self, artifact: RunArtifact, context: PipelineContext) -> bool:
         options: RunOptions = context.options
-        resilience = context.scratch.get("resilience", {})
         return (
             options.solver != "dwave"
             # Fallback tiers already sample the logical model directly;
             # there are no unembedding artifacts to repair.
-            or resilience.get("answered_by") not in (None, "dwave")
+            or context.scratch.get("answered_by") not in (None, "dwave")
             or options.postprocess != "optimization"
             or len(artifact.solve_model) == 0
             or not len(artifact.sampleset)
@@ -648,7 +653,7 @@ class QmasmRunner:
         machine: DWaveSimulator,
         model: IsingModel,
         options: "RunOptions",
-        resilience: Dict,
+        context: PipelineContext,
     ) -> Optional[SampleSet]:
         """Sample on the machine under the retry policy.
 
@@ -657,15 +662,22 @@ class QmasmRunner:
         violations, topology mismatches) propagate immediately.  Each
         retry runs under one fresh random spin-reversal gauge, so a
         flaky machine's successful retries also decorrelate its analog
-        bias -- retries double as gauge averaging.
+        bias -- retries double as gauge averaging.  Every attempt,
+        retry, failure, and gauge lands on ``context.metrics`` under
+        ``runner.*`` -- the single source the stage counters and
+        ``info["resilience"]`` read from.
         """
         policy = options.retry
+        metrics = context.metrics
         delay = policy.backoff_s
         last_error: Optional[Exception] = None
         for attempt in range(policy.max_sample_attempts):
-            resilience["sample_attempts"] += 1
+            metrics.counter("runner.sample_attempts").inc()
             if attempt > 0:
-                resilience["sample_retries"] += 1
+                metrics.counter("runner.sample_retries").inc()
+                if policy.gauge_on_retry:
+                    metrics.counter("runner.gauge_retries").inc()
+                _trace.event("runner.retry", attempt=attempt)
             try:
                 return machine.sample_ising(
                     model,
@@ -678,11 +690,11 @@ class QmasmRunner:
                 )
             except TransientSolverError as exc:
                 last_error = exc
-                resilience["sample_failures"] += 1
+                metrics.counter("runner.sample_failures").inc()
                 if delay > 0.0 and attempt + 1 < policy.max_sample_attempts:
                     time.sleep(delay)
                     delay *= policy.backoff_factor
-        resilience["last_error"] = last_error
+        context.scratch["last_error"] = last_error
         return None
 
     def _classical_sample(
@@ -810,7 +822,10 @@ class QmasmRunner:
             solve_model=logical_model,
             info={"solver": solver},
         )
-        artifact = PassManager(self.run_stages).run(artifact, context)
+        with _trace.span("run", solver=solver) as run_span:
+            artifact = PassManager(self.run_stages, name="run").run(
+                artifact, context
+            )
 
         info = artifact.info
         info["wall_time_s"] = sum(
@@ -819,16 +834,16 @@ class QmasmRunner:
             if record.name in _WALL_TIME_STAGES
         )
         info["roof_duality_fixed"] = len(artifact.fixed)
-        resilience = context.scratch.get("resilience")
-        if resilience is not None:
-            info["answered_by"] = resilience["answered_by"] or solver
-            summary = {
-                k: v
-                for k, v in resilience.items()
-                if k != "last_error" and v not in (None, 0)
-            }
-            if resilience.get("last_error") is not None:
-                summary["last_error"] = str(resilience["last_error"])
+        if "answered_by" in context.scratch:
+            info["answered_by"] = context.scratch["answered_by"] or solver
+            summary = {}
+            for key in _RESILIENCE_COUNTERS:
+                value = int(context.metrics.value(f"runner.{key}"))
+                if value:  # zeros are omitted: quiet runs stay quiet
+                    summary[key] = value
+            last_error = context.scratch.get("last_error")
+            if last_error is not None:
+                summary["last_error"] = str(last_error)
             info["resilience"] = summary
         machine = context.scratch.get("machine")
         if machine is not None and machine.faults is not None:
@@ -847,6 +862,8 @@ class QmasmRunner:
             physical_model=artifact.physical_model,
             info=info,
             stats=context.stats,
+            metrics=context.metrics,
+            trace=run_span if run_span.is_recording else None,
         )
 
     # ------------------------------------------------------------------

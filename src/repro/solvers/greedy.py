@@ -13,10 +13,12 @@ instead of O(reads * n).
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
 
+from repro.core.trace import observe_sample as _observe_sample
 from repro.ising.model import IsingModel
 from repro.solvers import kernels
 from repro.solvers.sampleset import SampleSet
@@ -61,6 +63,7 @@ class SteepestDescentSolver:
         else:
             spins = self._rng.choice([-1.0, 1.0], size=(num_reads, n))
 
+        start = time.perf_counter()
         fields = kernels.init_local_fields(h_vec, indptr, indices, data, spins)
         flip = kernels.make_mixed_flip_updater(chosen, indptr, indices, data)
         for _ in range(max_sweeps):
@@ -74,12 +77,16 @@ class SteepestDescentSolver:
                 break
             flip(spins, fields, rows[improving], best[improving])
 
-        return SampleSet.from_array(
+        elapsed = time.perf_counter() - start
+        result = SampleSet.from_array(
             order,
             spins.astype(np.int8),
             model,
             info={"solver": "steepest-descent", "kernel": chosen},
         )
+        _observe_sample("greedy", result, elapsed, kernel=chosen,
+                        num_reads=len(spins))
+        return result
 
     def polish(self, sampleset: SampleSet, model: IsingModel) -> SampleSet:
         """Descend from an existing sample set's rows."""

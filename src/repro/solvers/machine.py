@@ -14,6 +14,7 @@ reproduced in shape.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
@@ -22,6 +23,7 @@ import networkx as nx
 import numpy as np
 
 from repro.core.faults import FaultInjector, FaultSpec
+from repro.core.trace import observe_sample as _observe_sample
 from repro.hardware.chimera import (
     DWAVE_2000Q_CELLS,
     chimera_graph,
@@ -204,6 +206,7 @@ class DWaveSimulator:
 
         num_sweeps = max(8, int(annealing_time_us * props.sweeps_per_us))
         order = list(model.variables)
+        start = time.perf_counter()
 
         batches = max(1, num_spin_reversal_transforms)
         reads_per_batch = [
@@ -277,6 +280,11 @@ class DWaveSimulator:
         }
         if reads_corrupted:
             sampleset.info["injected_read_corruption"] = reads_corrupted
+        _observe_sample("dwave", sampleset, time.perf_counter() - start,
+                        kernel=kernel_used, num_reads=num_reads,
+                        num_sweeps=num_sweeps,
+                        annealing_time_us=annealing_time_us,
+                        gauges=num_spin_reversal_transforms)
         return sampleset
 
     @staticmethod

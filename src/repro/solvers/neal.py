@@ -26,6 +26,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.core.trace import observe_sample as _observe_sample
 from repro.ising.model import IsingModel
 from repro.solvers import kernels
 from repro.solvers.sampleset import SampleSet
@@ -128,7 +129,7 @@ class SimulatedAnnealingSampler:
         )
         elapsed = time.perf_counter() - start
 
-        return SampleSet.from_array(
+        result = SampleSet.from_array(
             order,
             spins.astype(np.int8),
             model,
@@ -143,3 +144,7 @@ class SimulatedAnnealingSampler:
                 "accepted_flips": int(accepted),
             },
         )
+        _observe_sample("sa", result, elapsed, kernel=chosen,
+                        num_reads=num_reads, num_sweeps=num_sweeps,
+                        variables=n)
+        return result

@@ -17,11 +17,13 @@ reads) returns bit-identical samples to a serial run.  A custom
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Hashable, List, Optional
 
 import numpy as np
 
+from repro.core.trace import observe_sample as _observe_sample
 from repro.ising.model import IsingModel
 from repro.solvers.sampleset import SampleSet
 from repro.solvers.tabu import TabuSampler
@@ -95,6 +97,7 @@ class QBSolv:
             return self.subsolver.sample(model, num_reads=max(num_reads, 1))
         if max_workers is None:
             max_workers = self.max_workers
+        start = time.perf_counter()
 
         if self._default_subsolver:
             # Each read gets a private solver rebuilt from a seed drawn
@@ -119,7 +122,8 @@ class QBSolv:
         records = np.array(
             [[assignment[v] for v in order] for assignment in rows], dtype=np.int8
         )
-        return SampleSet.from_array(
+        elapsed = time.perf_counter() - start
+        result = SampleSet.from_array(
             order,
             records,
             model,
@@ -130,6 +134,10 @@ class QBSolv:
                 "max_workers": max_workers if self._default_subsolver else None,
             },
         )
+        _observe_sample("qbsolv", result, elapsed, num_reads=num_reads,
+                        subproblem_size=self.subproblem_size,
+                        variables=len(order))
+        return result
 
     # ------------------------------------------------------------------
     def _solve_one(

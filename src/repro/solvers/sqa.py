@@ -33,6 +33,8 @@ from __future__ import annotations
 import time
 from typing import Optional, Tuple
 
+from repro.core.trace import observe_sample as _observe_sample
+
 import numpy as np
 
 from repro.ising.model import IsingModel
@@ -151,7 +153,7 @@ class PathIntegralAnnealer:
         best_rows = spins[rows].astype(np.int8)
         elapsed = time.perf_counter() - start
 
-        return SampleSet.from_array(
+        result = SampleSet.from_array(
             order,
             best_rows,
             model,
@@ -167,3 +169,7 @@ class PathIntegralAnnealer:
                 "accepted_flips": int(accepted),
             },
         )
+        _observe_sample("sqa", result, elapsed, kernel=chosen,
+                        num_reads=num_reads, num_sweeps=num_sweeps,
+                        trotter_slices=slices)
+        return result

@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.trace import observe_sample as _observe_sample
 from repro.ising.model import IsingModel
 from repro.solvers import kernels
 from repro.solvers.sampleset import SampleSet
@@ -74,7 +75,7 @@ class TabuSampler:
                 spins, fields, float(energies[read]), read, tenure, max_iter, flip
             )
         elapsed = time.perf_counter() - start
-        return SampleSet.from_array(
+        result = SampleSet.from_array(
             order,
             rows,
             model,
@@ -86,6 +87,9 @@ class TabuSampler:
                 "sampling_time_s": elapsed,
             },
         )
+        _observe_sample("tabu", result, elapsed, kernel=chosen,
+                        num_reads=num_reads, tenure=tenure)
+        return result
 
     def _search(
         self,
