@@ -211,18 +211,34 @@ class ArtifactCache:
             return None
 
     def _disk_put(self, key: str, value: Any) -> None:
+        """Crash-safe store: write-temp, fsync, then atomic rename.
+
+        A process killed mid-write must never leave a truncated pickle
+        under the final name (readers would count a disk error and heal
+        it away, but the entry would be lost) -- so the bytes go to a
+        per-process temp file first, are flushed *and fsynced* to stable
+        storage, and only then atomically renamed over the final path.
+        The temp name includes the PID so two processes warming the same
+        cache directory cannot clobber each other's partial writes.
+        """
         path = self._disk_path(key)
         if path is None:
             return
+        tmp = f"{path}.{os.getpid()}.tmp"
         try:
             os.makedirs(self.cache_dir, exist_ok=True)
-            tmp = path + ".tmp"
             with open(tmp, "wb") as handle:
                 pickle.dump(value, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         except Exception as exc:
             # An unwritable disk tier degrades to memory-only.
             self._disk_warn("store", path, exc)
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
 
 
 class CompilationCache(ArtifactCache):

@@ -41,6 +41,24 @@ Fault-tolerance flags (see ``repro.core.faults``):
 ``--no-fallback``
     fail instead of degrading to classical solver tiers when the
     hardware stays unavailable.
+
+Certification and deadline flags (see ``repro.qmasm.certify`` and
+``repro.core.deadline``):
+
+``--certify``
+    independently re-check every returned read (energy recomputation,
+    per-gate truth-table replay, pin constraints) and print the
+    certificate; exit 3 if any read fails certification.
+``--repair``
+    implies ``--certify``; polish and re-sample uncertified reads
+    within the retry policy's repair budget before giving up.
+``--deadline SECONDS``
+    wall-clock budget for the whole run; samplers stop cooperatively
+    at sweep-batch granularity and the run exits 4 if the budget
+    expires before a usable result exists.
+
+Exit codes: 0 success; 1 generic error; 2 usage/pin diagnostics or no
+valid solutions; 3 certification failure; 4 deadline exceeded.
 """
 
 from __future__ import annotations
@@ -161,7 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
             "damage the simulated machine deterministically, e.g. "
             "'dead_qubits=5%%,fail_first=2,seed=7' (keys: dead_qubits, "
             "dead_couplers, fail_first, fail_rate, drop_rate, "
-            "break_chains, seed; repeatable)"
+            "break_chains, read_corruption, seed; repeatable)"
         ),
     )
     parser.add_argument(
@@ -176,6 +194,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fail instead of degrading to classical solvers when the "
         "hardware stays unavailable",
+    )
+    parser.add_argument(
+        "--certify",
+        action="store_true",
+        help="independently re-check every read (energy, gate truth "
+        "tables, pins) and print the certificate; exit 3 on failure",
+    )
+    parser.add_argument(
+        "--repair",
+        action="store_true",
+        help="implies --certify; polish and re-sample uncertified reads "
+        "within the repair budget before giving up",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for the run; exit 4 with the "
+        "interrupted stage named if it expires",
     )
     parser.add_argument(
         "--trace",
@@ -282,11 +320,17 @@ def _run_command(args: argparse.Namespace) -> int:
             print(format_compile_summary(program))
         return 0
 
+    code = _validate_pins(args.pin, program)
+    if code:
+        return code
+
+    from repro.core.deadline import DeadlineExceeded
     from repro.qmasm.runner import RetryPolicy
 
     policy = RetryPolicy(max_sample_attempts=args.retries)
     if args.no_fallback:
         policy.fallback_solvers = ()
+    certify = args.certify or args.repair
     try:
         result = compiler.run(
             program,
@@ -298,7 +342,17 @@ def _run_command(args: argparse.Namespace) -> int:
             annealing_time_us=args.anneal_time,
             use_roof_duality=args.roof_duality,
             retry_policy=policy,
+            certify=certify,
+            repair=args.repair,
+            deadline=args.deadline,
         )
+    except DeadlineExceeded as exc:
+        print(
+            f"error: deadline of {exc.budget_s:.3g}s exceeded after "
+            f"{exc.elapsed_s:.3g}s in stage {exc.stage}",
+            file=sys.stderr,
+        )
+        return 4
     except Exception as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -316,6 +370,53 @@ def _run_command(args: argparse.Namespace) -> int:
         print(format_pass_table(program.stats, title="compile passes:"))
         print()
         print(format_pass_table(result.stats, title="run passes:"))
+    if certify and result.certificate is not None:
+        print(f"certificate: {result.certificate.summary()}")
+        if not result.certificate.ok:
+            print(
+                "error: certification failed: "
+                f"{result.certificate.summary()}",
+                file=sys.stderr,
+            )
+            return 3
+    return 0
+
+
+def _validate_pins(pin_texts, program) -> int:
+    """Pre-validate ``--pin`` options before the run pipeline starts.
+
+    Returns 0 when everything checks out, 2 with a one-line structured
+    diagnostic on stderr otherwise (same formatting as the Verilog
+    frontend's errors, see :func:`repro.hdl.errors.format_diagnostic`).
+    """
+    from repro.hdl.errors import format_diagnostic
+    from repro.qmasm.parser import parse_pin
+    from repro.qmasm.program import QmasmError
+
+    known = program.logical.variables
+    for text in pin_texts:
+        try:
+            pin = parse_pin(text)
+        except QmasmError as exc:
+            print(
+                "error: "
+                + format_diagnostic(str(exc), source=f"--pin {text!r}"),
+                file=sys.stderr,
+            )
+            return 2
+        unknown = sorted(v for v in pin.assignments if v not in known)
+        if unknown:
+            visible = program.logical.visible_variables()
+            print(
+                "error: "
+                + format_diagnostic(
+                    f"unknown variable(s) {', '.join(unknown)}; "
+                    f"known: {', '.join(visible)}",
+                    source=f"--pin {text!r}",
+                ),
+                file=sys.stderr,
+            )
+            return 2
     return 0
 
 

@@ -96,6 +96,12 @@ class CompiledProgram:
     edif_text: str
     qmasm_source: str
     logical: LogicalProgram
+    #: The netlist as re-read from the EDIF text -- the exact netlist
+    #: the QMASM source was generated from.  The round-trip renumbers
+    #: internal nets, so anything that must agree with the QMASM
+    #: variable names (result certification's gate replay in
+    #: particular) has to use *this* netlist, not :attr:`netlist`.
+    edif_netlist: Optional[Netlist] = None
     options: CompileOptions = field(default_factory=CompileOptions)
     #: Per-stage wall times and artifact counters for this compilation.
     stats: PipelineStats = field(default_factory=PipelineStats)
@@ -383,6 +389,7 @@ class VerilogAnnealerCompiler:
                 edif_text=artifact.edif_text,
                 qmasm_source=artifact.qmasm_source,
                 logical=artifact.logical,
+                edif_netlist=artifact.edif_netlist,
                 options=options,
                 stats=context.stats,
             )
@@ -408,6 +415,11 @@ class VerilogAnnealerCompiler:
         the implied compilation (e.g.
         ``run(src, compile_options=CompileOptions(unroll_steps=4))``);
         it is rejected for already-compiled programs.
+
+        The compiled gate-level netlist rides along into the runner, so
+        ``certify=True`` runs replay every cell's truth table against
+        each read -- the end-to-end check a bare QMASM source cannot
+        get.
         """
         if isinstance(program, str):
             program = self.compile(program, compile_options)
@@ -416,6 +428,13 @@ class VerilogAnnealerCompiler:
                 "compile_options only applies when run() is given raw "
                 "Verilog source, not an already-compiled program"
             )
+        # Certification must replay the netlist the QMASM source was
+        # generated from (the EDIF round-trip renumbers internal nets,
+        # so program.netlist's $net<N> names need not match the sampled
+        # variables).  Old cached programs may predate the field.
+        runner_kwargs.setdefault(
+            "netlist", getattr(program, "edif_netlist", None) or program.netlist
+        )
         return self.runner.run(
             program.logical,
             pins=pins,

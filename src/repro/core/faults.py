@@ -90,6 +90,11 @@ class FaultSpec:
             programming time (a dropped programming cycle).
         chain_break_rate: fraction of reads in which one random qubit's
             spin is flipped, breaking whatever chain contains it.
+        read_corruption_rate: fraction of *logical* reads corrupted
+            after unembedding and postprocessing: one meaningful spin is
+            flipped while the reported energy is left stale -- the
+            low-energy-but-wrong reads that only end-to-end
+            certification (:mod:`repro.qmasm.certify`) can catch.
         seed: drives every pseudo-random choice above.
     """
 
@@ -101,6 +106,7 @@ class FaultSpec:
     sample_failure_rate: float = 0.0
     programming_drop_rate: float = 0.0
     chain_break_rate: float = 0.0
+    read_corruption_rate: float = 0.0
     seed: int = 0
 
     def __post_init__(self):
@@ -110,6 +116,7 @@ class FaultSpec:
             "sample_failure_rate",
             "programming_drop_rate",
             "chain_break_rate",
+            "read_corruption_rate",
         ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
@@ -141,6 +148,7 @@ class FaultSpec:
             or self.sample_failure_rate
             or self.programming_drop_rate
             or self.chain_break_rate
+            or self.read_corruption_rate
         )
 
 
@@ -153,6 +161,7 @@ _SPEC_KEYS = {
     "fail_rate": "sample_failure_rate",
     "drop_rate": "programming_drop_rate",
     "break_chains": "chain_break_rate",
+    "read_corruption": "read_corruption_rate",
     "seed": "seed",
 }
 _INT_FIELDS = {"fail_first_samples", "seed"}
@@ -178,7 +187,8 @@ def parse_fault_spec(text: str, base: Optional[FaultSpec] = None) -> FaultSpec:
 
     Keys: ``dead_qubits`` / ``dead_couplers`` (fraction or percentage),
     ``fail_first`` (count), ``fail_rate`` / ``drop_rate`` /
-    ``break_chains`` (fraction or percentage), ``seed`` (int).  Explicit
+    ``break_chains`` / ``read_corruption`` (fraction or percentage),
+    ``seed`` (int).  Explicit
     dead-qubit/coupler *lists* are API-only
     (:class:`FaultSpec(dead_qubits=...) <FaultSpec>`).
 
@@ -251,9 +261,11 @@ class FaultInjector:
         self.spec = spec
         self._rng = random.Random(spec.seed)
         self._read_rng = np.random.default_rng(spec.seed + 1)
+        self._logical_rng = np.random.default_rng(spec.seed + 2)
         self.sample_calls = 0
         self.transient_failures = 0
         self.reads_corrupted = 0
+        self.logical_reads_corrupted = 0
 
     # -- yield model ----------------------------------------------------
     def degrade(self, graph: "nx.Graph") -> "nx.Graph":
@@ -327,21 +339,88 @@ class FaultInjector:
         self.reads_corrupted += count
         return out, count
 
+    def corrupt_logical(
+        self,
+        records: np.ndarray,
+        columns: Optional[np.ndarray] = None,
+        observable: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Flip one spin in ``read_corruption_rate`` of *logical* reads.
+
+        Unlike :meth:`corrupt_records` (physical chain damage, applied
+        before energies are computed), this models readout misreporting
+        at the very end of the pipeline: the returned rows disagree with
+        the states the machine actually reached, and the caller is
+        expected to keep the *stale* energies -- producing exactly the
+        low-energy-but-wrong reads certification must flag.
+
+        Args:
+            records: the logical spin matrix (copied, never mutated).
+            columns: optional candidate column indices to flip (the
+                caller restricts these to variables that actually carry
+                bias or couplings).
+            observable: optional boolean matrix shaped like ``records``;
+                ``observable[r, i]`` marks columns whose flip is
+                *detectable* in row ``r`` (the caller typically marks
+                columns with a nonzero local field, whose flip provably
+                changes the row's energy).  Hit rows pick uniformly
+                among their observable candidates; a hit row with no
+                observable candidate is left intact -- an undetectable
+                "corruption" would be indistinguishable from a valid
+                read, by definition.
+
+        Returns:
+            ``(records, corrupted_rows)`` -- the possibly-copied matrix
+            and the sorted indices of the corrupted rows.
+        """
+        rate = self.spec.read_corruption_rate
+        empty = np.zeros(0, dtype=int)
+        if not rate or records.size == 0 or records.shape[1] == 0:
+            return records, empty
+        if columns is None:
+            columns = np.arange(records.shape[1])
+        columns = np.asarray(columns, dtype=int)
+        if columns.size == 0:
+            return records, empty
+        hit = self._logical_rng.random(records.shape[0]) < rate
+        candidates = np.flatnonzero(hit)
+        if not len(candidates):
+            return records, empty
+        out = records.copy()
+        corrupted = []
+        for row in candidates:
+            pool = (
+                columns[observable[row, columns]]
+                if observable is not None
+                else columns
+            )
+            if not len(pool):
+                continue
+            pick = int(pool[self._logical_rng.integers(0, len(pool))])
+            out[row, pick] = -out[row, pick]
+            corrupted.append(int(row))
+        rows = np.asarray(corrupted, dtype=int)
+        self.logical_reads_corrupted += len(rows)
+        return out, rows
+
     # -- observability ---------------------------------------------------
     def counters(self) -> Dict[str, int]:
         return {
             "sample_calls": self.sample_calls,
             "transient_failures": self.transient_failures,
             "reads_corrupted": self.reads_corrupted,
+            "logical_reads_corrupted": self.logical_reads_corrupted,
         }
 
     def reset(self) -> None:
         """Restore the injector to its just-constructed state."""
         self._rng = random.Random(self.spec.seed)
         self._read_rng = np.random.default_rng(self.spec.seed + 1)
+        self._logical_rng = np.random.default_rng(self.spec.seed + 2)
         self.sample_calls = 0
         self.transient_failures = 0
         self.reads_corrupted = 0
+        self.logical_reads_corrupted = 0
 
 
 def break_chains(

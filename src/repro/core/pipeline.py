@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.core import trace as _trace
+from repro.core.deadline import Deadline
 from repro.core.trace import MetricsRegistry
 
 #: A trace event is a plain dict: ``{"stage": name, "event": "begin"}``
@@ -164,6 +165,10 @@ class PipelineContext:
             run's result and in the process-wide summary without ever
             being computed twice.
         trace: optional callback receiving begin/end trace events.
+        deadline: optional :class:`~repro.core.deadline.Deadline` the
+            :class:`PassManager` enforces between stages (and stages
+            may thread into their samplers for cooperative
+            interruption).  None means unbounded.
         scratch: shared mutable storage for stage-to-stage side data
             that is not part of the artifact proper (e.g. the lazily
             constructed machine).
@@ -176,10 +181,12 @@ class PipelineContext:
         trace: Optional[TraceCallback] = None,
         stats: Optional[PipelineStats] = None,
         metrics: Optional[MetricsRegistry] = None,
+        deadline: Optional[Deadline] = None,
     ):
         self.options = options
         self.seed = seed
         self.trace = trace
+        self.deadline = deadline
         self.stats = stats if stats is not None else PipelineStats()
         self.metrics = (
             metrics
@@ -218,6 +225,19 @@ class Stage:
     """
 
     name: str = "stage"
+
+    #: What the :class:`PassManager` does when the context deadline has
+    #: already expired before this stage starts:
+    #:
+    #: * ``"abort"`` (default) -- raise
+    #:   :class:`~repro.core.deadline.DeadlineExceeded` carrying the
+    #:   partial artifact and this stage's span name; right for stages
+    #:   whose output later stages cannot do without.
+    #: * ``"skip"`` -- record the stage as skipped and move on; right
+    #:   for optional refinement (postprocess, repair).
+    #: * ``"run"`` -- run anyway; right for cheap stages that convert
+    #:   work already paid for into usable results (unembed, certify).
+    deadline_policy: str = "abort"
 
     def run(self, artifact: Any, context: PipelineContext) -> Any:
         raise NotImplementedError
@@ -279,6 +299,29 @@ class PassManager:
     def run(self, artifact: Any, context: PipelineContext) -> Any:
         prefix = f"{self.name}." if self.name else ""
         for stage in self.stages:
+            if context.deadline is not None and context.deadline.expired():
+                policy = getattr(stage, "deadline_policy", "abort")
+                if policy == "abort":
+                    context.metrics.counter("deadline.expired").inc()
+                    context.deadline.check(
+                        stage=prefix + stage.name, partial=artifact
+                    )
+                if policy == "skip":
+                    context.metrics.counter("deadline.stages_skipped").inc()
+                    record = StageRecord(name=stage.name, skipped=True)
+                    context.stats.record(record)
+                    context.emit(
+                        {
+                            "stage": stage.name,
+                            "event": "end",
+                            "wall_time_s": 0.0,
+                            "cached": False,
+                            "skipped": True,
+                            "counters": {},
+                        }
+                    )
+                    continue
+                # policy == "run": proceed as normal.
             context._begin_stage()
             context.emit({"stage": stage.name, "event": "begin"})
             with _trace.span(prefix + stage.name) as span:

@@ -5,17 +5,35 @@ from __future__ import annotations
 from typing import Optional
 
 
+def format_diagnostic(
+    message: str,
+    line: Optional[int] = None,
+    column: Optional[int] = None,
+    source: Optional[str] = None,
+) -> str:
+    """One-line diagnostic in the frontend's house style.
+
+    ``message (line N, column M)`` with an optional ``source:`` prefix
+    naming where the bad input came from (a file, an option such as
+    ``--pin``, ...).  Shared by :class:`VerilogError` and the CLI's
+    structured option diagnostics so every user-facing error reads the
+    same way.
+    """
+    location = ""
+    if line is not None:
+        location = f"line {line}"
+        if column is not None:
+            location += f", column {column}"
+        location = f" ({location})"
+    prefix = f"{source}: " if source else ""
+    return f"{prefix}{message}{location}"
+
+
 class VerilogError(Exception):
     """Base class: any problem with the source program."""
 
     def __init__(self, message: str, line: Optional[int] = None, column: Optional[int] = None):
-        location = ""
-        if line is not None:
-            location = f"line {line}"
-            if column is not None:
-                location += f", column {column}"
-            location = f" ({location})"
-        super().__init__(f"{message}{location}")
+        super().__init__(format_diagnostic(message, line, column))
         self.line = line
         self.column = column
 

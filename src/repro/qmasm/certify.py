@@ -1,0 +1,325 @@
+"""Result certification: classical end-to-end checks of annealer reads.
+
+The compiled artifact is a *relation*: by the definition of NP, any spin
+assignment the annealer returns can be verified in polynomial time by
+replaying the gate-level netlist forward (Section 5.2 of the paper; Bian
+et al. lean on the same verify-the-answer-classically loop for SAT).
+This module is that verifier, applied per read:
+
+1. **Energy recomputation** -- the read's reported energy is recomputed
+   from the logical Ising model; disagreement means the read was
+   corrupted somewhere between sampling and reporting (a
+   low-energy-*looking* but wrong read).
+2. **Netlist replay** -- every combinational cell's truth function
+   (:data:`repro.ising.cells.CELL_LIBRARY`, the same tables
+   :mod:`repro.synth.simulate` evaluates) is checked against the net
+   values the read assigns, using the net->variable naming rule shared
+   with :func:`repro.edif2qmasm.translate.net_variable_names`.  A cell
+   whose output disagrees with its inputs is a gate violation.
+3. **Pins and assertions** -- the read must respect every ``--pin`` and
+   pass every ``!assert``.
+
+Each read is classified as one of:
+
+* ``certified`` -- energy matches and every constraint holds;
+* ``energy_mismatch`` -- constraints hold but the reported energy is
+  not the model's energy of the reported state;
+* ``constraint_violation`` -- a gate, pin, or assertion fails (this
+  dominates ``energy_mismatch`` when both apply).
+
+The per-run :class:`Certificate` aggregates occurrence-weighted counts,
+the certified fraction, per-cell violation counts, and the worst
+offending cells; :class:`~repro.qmasm.runner.QmasmRunner` attaches it to
+:class:`~repro.qmasm.runner.RunResult` and drives the self-repair loop
+from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core import trace as _trace
+from repro.ising.cells import CELL_LIBRARY
+from repro.ising.model import IsingModel, spin_to_bool
+from repro.qmasm.assembler import LogicalProgram
+from repro.solvers.sampleset import SampleSet
+
+#: Read classification states, from best to worst.
+CERTIFIED = "certified"
+ENERGY_MISMATCH = "energy_mismatch"
+CONSTRAINT_VIOLATION = "constraint_violation"
+STATES = (CERTIFIED, ENERGY_MISMATCH, CONSTRAINT_VIOLATION)
+
+
+@dataclass
+class ReadCheck:
+    """The certification verdict for one sample-set row.
+
+    Attributes:
+        index: the row's index in the certified sample set.
+        state: one of :data:`STATES`.
+        energy_reported: the energy the sample set carried.
+        energy_recomputed: the model's energy of the reported state.
+        gate_violations: names of cells whose output contradicts their
+            inputs under this read.
+        failed_assertions: source text of every failed ``!assert``.
+        pins_respected: whether every pinned variable holds its value.
+        num_occurrences: the row's occurrence count (weights the
+            certificate's aggregate counts).
+    """
+
+    index: int
+    state: str
+    energy_reported: float
+    energy_recomputed: float
+    gate_violations: Tuple[str, ...] = ()
+    failed_assertions: Tuple[str, ...] = ()
+    pins_respected: bool = True
+    num_occurrences: int = 1
+
+    @property
+    def certified(self) -> bool:
+        return self.state == CERTIFIED
+
+
+@dataclass
+class Certificate:
+    """The aggregated certification verdict for one run.
+
+    Attributes:
+        reads: per-row verdicts, aligned with the sample set's rows.
+        counts: occurrence-weighted read counts per state.
+        gate_violation_counts: occurrence-weighted violation counts per
+            cell name.
+        gates_checked: how many netlist cells were replayed per read
+            (0 when no netlist was available -- energy/pin/assertion
+            checks still ran).
+        unchecked_cells: cells that could not be replayed (sequential
+            cells, or cells whose nets were optimized out).
+        energy_tolerance: relative tolerance of the energy comparison.
+        repair: summary of the self-repair loop, when it ran
+            (``rounds``, ``polished_reads``, ``resample_rounds``,
+            ``reads_repaired``, ``certified_fraction_before``).
+    """
+
+    reads: List[ReadCheck] = field(default_factory=list)
+    counts: Dict[str, int] = field(default_factory=dict)
+    gate_violation_counts: Dict[str, int] = field(default_factory=dict)
+    gates_checked: int = 0
+    unchecked_cells: Tuple[str, ...] = ()
+    energy_tolerance: float = 1e-6
+    repair: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_reads(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def certified_reads(self) -> int:
+        return self.counts.get(CERTIFIED, 0)
+
+    @property
+    def certified_fraction(self) -> float:
+        total = self.total_reads
+        return self.certified_reads / total if total else 1.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every read certified (the CLI's exit-code gate)."""
+        return self.certified_fraction == 1.0
+
+    def states(self) -> List[str]:
+        """Per-row states, aligned with the sample set's row order."""
+        return [read.state for read in self.reads]
+
+    def uncertified_rows(self) -> List[int]:
+        return [read.index for read in self.reads if not read.certified]
+
+    def worst_cells(self, n: int = 5) -> List[Tuple[str, int]]:
+        """The ``n`` cells with the most violations, worst first."""
+        ranked = sorted(
+            self.gate_violation_counts.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return ranked[:n]
+
+    def summary(self) -> str:
+        """One line for reports: state counts and the worst offenders."""
+        parts = [
+            f"certified {self.certified_reads}/{self.total_reads} reads "
+            f"({self.certified_fraction:.1%})"
+        ]
+        for state in (ENERGY_MISMATCH, CONSTRAINT_VIOLATION):
+            if self.counts.get(state):
+                parts.append(f"{state}={self.counts[state]}")
+        worst = self.worst_cells(3)
+        if worst:
+            cells = ", ".join(f"{name} x{count}" for name, count in worst)
+            parts.append(f"worst cells: {cells}")
+        if self.repair:
+            parts.append(
+                f"repaired in {int(self.repair.get('rounds', 0))} round(s)"
+            )
+            if self.repair.get("reads_dropped"):
+                parts.append(
+                    f"dropped {int(self.repair['reads_dropped'])} "
+                    "unrepairable read(s)"
+                )
+        return "; ".join(parts)
+
+
+#: One replayable gate: (cell name, input variables, output variable,
+#: truth function).  Constants get ``()`` inputs and a constant lambda.
+_GateCheck = Tuple[str, Tuple[str, ...], str, object]
+
+
+def _netlist_gate_checks(netlist) -> Tuple[List[_GateCheck], List[str]]:
+    """Compile the netlist into per-read gate checks over QMASM names."""
+    from repro.edif2qmasm.translate import net_variable_names
+    from repro.synth.netlist import CONSTANT_CELLS
+
+    net_vars = net_variable_names(netlist)
+    checks: List[_GateCheck] = []
+    unchecked: List[str] = []
+    for cell in netlist.cells.values():
+        if cell.is_sequential:
+            # Flip-flops relate two *time steps*; unrolled designs have
+            # none, and un-unrolled ones cannot be checked statically.
+            unchecked.append(cell.name)
+            continue
+        output = net_vars[cell.output_net]
+        if cell.kind in CONSTANT_CELLS:
+            value = bool(CONSTANT_CELLS[cell.kind])
+            checks.append((cell.name, (), output, lambda v=value: v))
+            continue
+        spec = CELL_LIBRARY[cell.kind]
+        inputs = tuple(net_vars[cell.connections[p]] for p in spec.inputs)
+        checks.append((cell.name, inputs, output, spec.function))
+    return checks, unchecked
+
+
+def expand_read(
+    assignment: Mapping[str, int],
+    logical: LogicalProgram,
+    representative: Mapping[str, str],
+    fixed: Optional[Mapping[str, int]] = None,
+) -> Dict[str, int]:
+    """One read's spins over *every* QMASM variable.
+
+    Combines roof-duality-fixed spins with the sampled representative
+    spins and spreads them back across chain-contracted variables --
+    the same expansion the runner's solution report performs.
+    """
+    fixed = fixed or {}
+    spins: Dict[str, int] = dict(fixed)
+    spins.update(assignment)
+    full = logical.expand_sample(spins, representative)
+    for variable, rep in representative.items():
+        if rep in fixed:
+            full[variable] = fixed[rep]
+    return full
+
+
+def certify_sampleset(
+    sampleset: SampleSet,
+    logical: LogicalProgram,
+    representative: Mapping[str, str],
+    model: IsingModel,
+    fixed: Optional[Mapping[str, int]] = None,
+    netlist=None,
+    energy_tolerance: float = 1e-6,
+) -> Certificate:
+    """Certify every read of a logical sample set.
+
+    Args:
+        sampleset: logical samples (post-unembedding for hardware runs).
+        logical: the assembled program (pins, assertions, chains).
+        representative: the chain-contraction map from
+            :meth:`LogicalProgram.to_ising`.
+        model: the Ising model the sample energies were reported
+            against (the roof-duality-reduced model for reduced runs).
+        fixed: roof-duality-fixed spins, if any.
+        netlist: the gate-level :class:`~repro.synth.netlist.Netlist`
+            to replay, when available; None limits certification to
+            energy, pin, and assertion checks.
+        energy_tolerance: relative tolerance for the energy comparison
+            (scaled by ``max(1, |E_reported|)``).
+
+    Returns:
+        A :class:`Certificate` whose ``reads`` align with the sample
+        set's rows.
+    """
+    checks: List[_GateCheck] = []
+    unchecked: List[str] = []
+    if netlist is not None:
+        checks, unchecked = _netlist_gate_checks(netlist)
+
+    certificate = Certificate(
+        counts={state: 0 for state in STATES},
+        gates_checked=len(checks),
+        unchecked_cells=tuple(unchecked),
+        energy_tolerance=energy_tolerance,
+    )
+    with _trace.span(
+        "certify.check", reads=len(sampleset), gates=len(checks)
+    ):
+        # Recompute every row's energy in one vectorized pass.
+        if len(sampleset):
+            recomputed_all = model.energies(
+                sampleset.records.astype(float), order=list(sampleset.variables)
+            )
+        else:
+            recomputed_all = []
+        for index, sample in enumerate(sampleset):
+            full = expand_read(
+                sample.assignment, logical, representative, fixed
+            )
+            recomputed = float(recomputed_all[index])
+            tolerance = energy_tolerance * max(
+                1.0, abs(sample.energy)
+            )
+            energy_ok = abs(recomputed - sample.energy) <= tolerance
+
+            values = {v: spin_to_bool(s) for v, s in full.items()}
+            violations: List[str] = []
+            for name, inputs, output, function in checks:
+                if output not in values or any(
+                    v not in values for v in inputs
+                ):
+                    continue  # net optimized out of the logical program
+                expected = bool(function(*(values[v] for v in inputs)))
+                if values[output] != expected:
+                    violations.append(name)
+            pins_ok = logical.pins_satisfied(full)
+            failed = tuple(logical.check_assertions(full))
+
+            if violations or failed or not pins_ok:
+                state = CONSTRAINT_VIOLATION
+            elif not energy_ok:
+                state = ENERGY_MISMATCH
+            else:
+                state = CERTIFIED
+            read = ReadCheck(
+                index=index,
+                state=state,
+                energy_reported=float(sample.energy),
+                energy_recomputed=float(recomputed),
+                gate_violations=tuple(violations),
+                failed_assertions=failed,
+                pins_respected=pins_ok,
+                num_occurrences=sample.num_occurrences,
+            )
+            certificate.reads.append(read)
+            certificate.counts[state] += read.num_occurrences
+            for name in violations:
+                certificate.gate_violation_counts[name] = (
+                    certificate.gate_violation_counts.get(name, 0)
+                    + read.num_occurrences
+                )
+    _trace.event(
+        "certify.result",
+        reads=certificate.total_reads,
+        certified_fraction=certificate.certified_fraction,
+    )
+    return certificate

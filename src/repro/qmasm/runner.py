@@ -31,12 +31,16 @@ answer, and every retry/fallback/broken-chain count lands in
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.core import trace as _trace
 from repro.core.cache import EmbeddingCache
+from repro.core.deadline import Deadline
 from repro.core.faults import TransientSolverError
 from repro.core.pipeline import (
     PassManager,
@@ -58,6 +62,7 @@ from repro.hardware.scaling import scale_to_hardware
 from repro.ising.model import IsingModel, spin_to_bool
 from repro.ising.roofduality import fix_variables
 from repro.qmasm.assembler import LogicalProgram, assemble
+from repro.qmasm.certify import Certificate, certify_sampleset
 from repro.qmasm.parser import parse_pin, parse_qmasm
 from repro.qmasm.program import Pin, Program, QmasmError
 from repro.solvers.exact import ExactSolver
@@ -114,6 +119,14 @@ class RunResult:
     embedding: Optional[Embedding] = None
     physical_model: Optional[IsingModel] = None
     info: Dict = field(default_factory=dict)
+    #: Spins the roof-duality preprocessor proved and fixed before
+    #: sampling; external re-certification
+    #: (:func:`repro.qmasm.certify.certify_sampleset`) needs them to
+    #: expand samples back over every variable.
+    fixed_spins: Dict[str, int] = field(default_factory=dict)
+    #: The per-read certification verdict when ``certify=True`` ran;
+    #: None when certification was not requested.
+    certificate: Optional[Certificate] = None
     #: Per-stage wall times and counters for this execution.
     stats: PipelineStats = field(default_factory=PipelineStats)
     #: The run-scoped metrics registry: every retry/fallback/escalation
@@ -174,6 +187,18 @@ class RetryPolicy:
       escalating attempts (doubling improvement rounds, reseeded
       restarts, exponential backoff) for minor embedding on degraded
       working graphs.
+    * **Self-repair** -- when certification finds uncertified reads
+      (``certify=True, repair=True``), up to :attr:`max_repair_rounds`
+      repair rounds run: the first polishes the offending reads with
+      bounded steepest descent (:attr:`repair_polish_sweeps` sweeps),
+      later rounds re-sample with :attr:`repair_read_factor` x the
+      original reads (hardware rounds also escalate chain strength).
+
+    Note :attr:`chain_break_threshold` is a *strict* bound: escalation
+    fires only when the chain-break fraction strictly exceeds it, so a
+    threshold of exactly ``0.0`` does **not** escalate on a clean
+    unembedding (break fraction 0.0) -- it escalates on any breakage
+    at all.
     """
 
     max_sample_attempts: int = 3
@@ -187,10 +212,19 @@ class RetryPolicy:
     exact_fallback_limit: int = 18
     embedding_max_attempts: int = 3
     embedding_backoff_s: float = 0.0
+    max_repair_rounds: int = 3
+    repair_polish_sweeps: int = 64
+    repair_read_factor: float = 2.0
 
     def __post_init__(self):
         if self.max_sample_attempts < 1:
             raise ValueError("max_sample_attempts must be >= 1")
+        if self.max_repair_rounds < 0:
+            raise ValueError("max_repair_rounds must be >= 0")
+        if self.repair_polish_sweeps < 1:
+            raise ValueError("repair_polish_sweeps must be >= 1")
+        if self.repair_read_factor < 1.0:
+            raise ValueError("repair_read_factor must be >= 1")
         if self.embedding_max_attempts < 1:
             raise ValueError("embedding_max_attempts must be >= 1")
         if not 0.0 <= self.chain_break_threshold <= 1.0:
@@ -224,6 +258,17 @@ class RunOptions:
     embedding_seed: Optional[int] = None
     postprocess: str = "optimization"
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Certify every read end-to-end (energy recomputation + netlist
+    #: replay + pins/assertions) and attach a Certificate to the result.
+    certify: bool = False
+    #: Run the self-repair loop on uncertified reads (requires certify).
+    repair: bool = False
+    #: The gate-level netlist to replay during certification, when the
+    #: program came from the Verilog flow; None limits certification to
+    #: energy/pin/assertion checks.
+    netlist: object = None
+    #: Relative tolerance of the certification energy comparison.
+    energy_tolerance: float = 1e-6
 
 
 @dataclass
@@ -239,6 +284,7 @@ class RunArtifact:
     physical_model: Optional[IsingModel] = None
     scaled_model: Optional[IsingModel] = None
     sampleset: Optional[SampleSet] = None
+    certificate: Optional[Certificate] = None
     info: Dict = field(default_factory=dict)
 
 
@@ -371,6 +417,11 @@ _RESILIENCE_COUNTERS = (
     "sample_failures",
     "fallback_depth",
     "chain_strength_escalations",
+    "repair_rounds",
+    "repair_polished_reads",
+    "repair_resamples",
+    "repair_reads_repaired",
+    "repair_reads_dropped",
 )
 
 
@@ -418,6 +469,7 @@ class SampleStage(Stage):
                 num_reads,
                 num_sweeps=options.num_sweeps,
                 max_workers=options.max_workers,
+                deadline=context.deadline,
             )
             context.scratch["answered_by"] = solver
         return artifact
@@ -438,6 +490,7 @@ class SampleStage(Stage):
                     options.num_reads,
                     num_sweeps=options.num_sweeps,
                     max_workers=options.max_workers,
+                    deadline=context.deadline,
                 )
             except Exception as exc:  # a broken tier just deepens the fall
                 last_error = exc
@@ -488,6 +541,9 @@ class UnembedStage(Stage):
     """
 
     name = "unembed"
+    #: Unembedding converts anneal work already paid for into logical
+    #: results, so it runs even after the deadline expired.
+    deadline_policy = "run"
 
     def __init__(self, runner: "QmasmRunner"):
         self._runner = runner
@@ -512,6 +568,11 @@ class UnembedStage(Stage):
         while (
             break_fraction > policy.chain_break_threshold
             and escalations < policy.max_chain_strength_escalations
+            # Escalation means re-sampling; an expired deadline keeps
+            # whatever the majority vote already recovered.
+            and not (
+                context.deadline is not None and context.deadline.expired()
+            )
         ):
             escalations += 1
             context.metrics.counter("runner.chain_strength_escalations").inc()
@@ -566,6 +627,8 @@ class PostprocessStage(Stage):
     """SAPI-style optimization postprocessing of unembedded samples."""
 
     name = "postprocess"
+    #: Optional refinement: an expired deadline skips it outright.
+    deadline_policy = "skip"
 
     def __init__(self, runner: "QmasmRunner"):
         self._runner = runner
@@ -591,6 +654,362 @@ class PostprocessStage(Stage):
 
     def counters(self, artifact: RunArtifact, context: PipelineContext):
         return {"samples": len(artifact.sampleset)}
+
+
+class CorruptReadsStage(Stage):
+    """Fault injection on *logical* reads: the certifier's adversary.
+
+    The PR-2 fault harness corrupts physical reads before unembedding;
+    majority-vote unembedding absorbs much of that.  This stage applies
+    the ``read_corruption`` fault *after* unembedding and postprocessing
+    -- flipping one meaningful variable per hit row while leaving the
+    row's reported energy stale -- producing exactly the failure the
+    energy-recomputation check exists to catch: reads that *look*
+    low-energy but are wrong.
+
+    Corruption columns are restricted per row to variables whose *local
+    field* is nonzero in that row, so every injected flip provably
+    changes the row's true energy -- flipping a zero-field variable
+    would hop between exactly degenerate states (e.g. two valid truth-
+    table rows of the same gate at the same energy), an in-principle
+    undetectable "corruption" no certifier could or should flag.
+    """
+
+    name = "corrupt_reads"
+    #: Fault injection costs nothing; run it even past the deadline so
+    #: deadline-shortened runs exercise the same adversary.
+    deadline_policy = "run"
+
+    def skip(self, artifact: RunArtifact, context: PipelineContext) -> bool:
+        machine = context.scratch.get("machine")
+        faults = machine.faults if machine is not None else None
+        return (
+            faults is None
+            or not faults.spec.read_corruption_rate
+            or artifact.sampleset is None
+            or not len(artifact.sampleset)
+            or context.scratch.get("answered_by") not in (None, "dwave")
+        )
+
+    def run(self, artifact: RunArtifact, context: PipelineContext):
+        from repro.solvers import kernels
+
+        faults = context.scratch["machine"].faults
+        sampleset = artifact.sampleset
+        model = artifact.solve_model
+        meaningful = np.array(
+            [
+                i
+                for i, v in enumerate(sampleset.variables)
+                if model.linear.get(v, 0.0) != 0.0 or model.degree(v) > 0
+            ],
+            dtype=int,
+        )
+        # Flipping spin i of row r changes the true energy by
+        # -2 s_ri f_ri, so columns with a nonzero local field are
+        # exactly the observable ones.
+        order = list(model.variables)
+        col_of = {v: i for i, v in enumerate(sampleset.variables)}
+        perm = np.array([col_of[v] for v in order], dtype=int)
+        _, h_vec, indptr, indices, data = model.to_csr()
+        local_model = kernels.init_local_fields(
+            h_vec, indptr, indices, data,
+            sampleset.records[:, perm].astype(float),
+        )
+        local = np.empty_like(local_model)
+        local[:, perm] = local_model
+        observable = np.abs(local) > 1e-12
+        records, rows = faults.corrupt_logical(
+            sampleset.records, columns=meaningful, observable=observable
+        )
+        if len(rows):
+            # Energies are deliberately left stale: a corrupted read
+            # still *reports* its pre-corruption energy, which only the
+            # certifier's recomputation can expose.  The stable sort
+            # keeps row order (energies unchanged), so ``rows`` keeps
+            # naming the corrupted rows.
+            artifact.sampleset = SampleSet(
+                sampleset.variables,
+                records,
+                sampleset.energies,
+                sampleset.occurrences,
+                dict(sampleset.info),
+            )
+            artifact.info["read_corruption_rows"] = [int(r) for r in rows]
+        return artifact
+
+    def counters(self, artifact: RunArtifact, context: PipelineContext):
+        return {
+            "corrupted": len(artifact.info.get("read_corruption_rows", ()))
+        }
+
+
+class CertifyStage(Stage):
+    """Recompute energies and replay the netlist for every read."""
+
+    name = "certify"
+    #: Certification is the cheap classical check that makes partial
+    #: results trustworthy -- always run it, deadline or not.
+    deadline_policy = "run"
+
+    def skip(self, artifact: RunArtifact, context: PipelineContext) -> bool:
+        return not context.options.certify or artifact.sampleset is None
+
+    def run(self, artifact: RunArtifact, context: PipelineContext):
+        options: RunOptions = context.options
+        certificate = certify_sampleset(
+            artifact.sampleset,
+            artifact.logical,
+            artifact.representative,
+            artifact.solve_model,
+            fixed=artifact.fixed,
+            netlist=options.netlist,
+            energy_tolerance=options.energy_tolerance,
+        )
+        artifact.certificate = certificate
+        metrics = context.metrics
+        metrics.counter("certify.reads_total").inc(certificate.total_reads)
+        metrics.counter("certify.reads_certified").inc(
+            certificate.certified_reads
+        )
+        uncertified = certificate.total_reads - certificate.certified_reads
+        if uncertified:
+            metrics.counter("certify.reads_uncertified").inc(uncertified)
+        metrics.gauge("certify.certified_fraction").set(
+            certificate.certified_fraction
+        )
+        return artifact
+
+    def counters(self, artifact: RunArtifact, context: PipelineContext):
+        certificate = artifact.certificate
+        return {
+            "certified": certificate.certified_reads,
+            "uncertified": (
+                certificate.total_reads - certificate.certified_reads
+            ),
+            "certified_fraction": certificate.certified_fraction,
+        }
+
+
+class RepairStage(Stage):
+    """Self-repair uncertified reads: polish, then budgeted re-sample.
+
+    Every round runs bounded steepest descent (shared
+    :mod:`repro.solvers.kernels` updaters) *in place* on the offending
+    rows only -- a read corrupted away from a minimum descends right
+    back.  Rounds after the first additionally re-sample first, with
+    escalated reads (and, on hardware, escalated chain strength),
+    replacing whatever rows are still uncertified before the polish.
+    When the budget runs out with some reads still uncertified, those
+    rows are *dropped* (provided at least one certified read survives):
+    repair's contract is that the returned sample set is certified, and
+    an unrepairable read is reported -- ``reads_dropped`` in the repair
+    summary, ``runner.repair_reads_dropped`` counter -- rather than
+    silently returned.  Every round re-certifies, so the attached
+    certificate always describes the *final* sample set; the repair
+    summary (rounds, polished/resampled/repaired/dropped reads, the
+    fraction before repair) lands on ``certificate.repair`` and the
+    ``runner.repair_*`` resilience counters.
+    """
+
+    name = "repair"
+    #: Repair is best-effort refinement: skipped outright once the
+    #: deadline has expired.
+    deadline_policy = "skip"
+
+    def __init__(self, runner: "QmasmRunner"):
+        self._runner = runner
+
+    def skip(self, artifact: RunArtifact, context: PipelineContext) -> bool:
+        options: RunOptions = context.options
+        return (
+            not (options.certify and options.repair)
+            or artifact.certificate is None
+            or artifact.certificate.ok
+            or options.retry.max_repair_rounds < 1
+        )
+
+    def run(self, artifact: RunArtifact, context: PipelineContext):
+        options: RunOptions = context.options
+        policy = options.retry
+        metrics = context.metrics
+        deadline = context.deadline
+        certificate = artifact.certificate
+        fraction_before = certificate.certified_fraction
+        reads_before = certificate.certified_reads
+        rounds = polished = resamples = dropped = 0
+
+        def recertify() -> Certificate:
+            fresh = certify_sampleset(
+                artifact.sampleset,
+                artifact.logical,
+                artifact.representative,
+                artifact.solve_model,
+                fixed=artifact.fixed,
+                netlist=options.netlist,
+                energy_tolerance=options.energy_tolerance,
+            )
+            # Later rounds (and _resample) must see *this* round's
+            # verdict, not the pre-repair one.
+            artifact.certificate = fresh
+            return fresh
+
+        with _trace.span(
+            "certify.repair", uncertified=len(certificate.uncertified_rows())
+        ):
+            while (
+                not certificate.ok
+                and rounds < policy.max_repair_rounds
+                and not (deadline is not None and deadline.expired())
+            ):
+                rounds += 1
+                metrics.counter("runner.repair_rounds").inc()
+                if rounds > 1:
+                    resamples += 1
+                    metrics.counter("runner.repair_resamples").inc()
+                    if not self._resample(artifact, context, round_index=rounds):
+                        break  # backend gave nothing new: stop burning budget
+                    certificate = recertify()
+                    if certificate.ok:
+                        break
+                bad_rows = certificate.uncertified_rows()
+                polished += len(bad_rows)
+                metrics.counter("runner.repair_polished_reads").inc(
+                    len(bad_rows)
+                )
+                artifact.sampleset = self._runner._polish_rows(
+                    artifact.solve_model,
+                    artifact.sampleset,
+                    bad_rows,
+                    max_sweeps=policy.repair_polish_sweeps,
+                    deadline=deadline,
+                )
+                certificate = recertify()
+                _trace.event(
+                    "certify.repair_round",
+                    round=rounds,
+                    certified_fraction=certificate.certified_fraction,
+                )
+
+            # Budget exhausted with stubborn reads left: drop them
+            # rather than hand back reads we know are wrong -- unless
+            # that would leave nothing at all.
+            if not certificate.ok and certificate.certified_reads > 0:
+                bad_rows = certificate.uncertified_rows()
+                dropped = len(bad_rows)
+                metrics.counter("runner.repair_reads_dropped").inc(dropped)
+                sampleset = artifact.sampleset
+                keep = np.ones(len(sampleset), dtype=bool)
+                keep[bad_rows] = False
+                artifact.sampleset = SampleSet(
+                    sampleset.variables,
+                    sampleset.records[keep],
+                    sampleset.energies[keep],
+                    sampleset.occurrences[keep],
+                    dict(sampleset.info),
+                )
+                certificate = recertify()
+
+        repaired = max(0, certificate.certified_reads - reads_before)
+        if repaired:
+            metrics.counter("runner.repair_reads_repaired").inc(repaired)
+        certificate.repair = {
+            "rounds": rounds,
+            "polished_reads": polished,
+            "resample_rounds": resamples,
+            "reads_repaired": repaired,
+            "reads_dropped": dropped,
+            "certified_fraction_before": fraction_before,
+        }
+        artifact.certificate = certificate
+        context.metrics.gauge("certify.certified_fraction").set(
+            certificate.certified_fraction
+        )
+        return artifact
+
+    def _resample(
+        self,
+        artifact: RunArtifact,
+        context: PipelineContext,
+        round_index: int,
+    ) -> bool:
+        """Replace still-uncertified rows with freshly sampled reads."""
+        options: RunOptions = context.options
+        policy = options.retry
+        num_reads = max(1, int(options.num_reads * policy.repair_read_factor))
+        answered_by = context.scratch.get("answered_by")
+
+        if answered_by == "dwave" and artifact.embedding is not None:
+            machine = context.scratch["machine"]
+            chain_strength = default_chain_strength(artifact.solve_model) * (
+                policy.chain_strength_factor ** (round_index - 1)
+            )
+            physical = embed_ising(
+                artifact.solve_model,
+                artifact.embedding,
+                machine.working_graph,
+                chain_strength=chain_strength,
+            )
+            scaled, _factor = scale_to_hardware(physical)
+            escalated = dataclasses.replace(options, num_reads=num_reads)
+            raw = self._runner._sample_with_retry(
+                machine, scaled, escalated, context
+            )
+            if raw is None:
+                return False
+            fresh = unembed_sampleset(
+                raw, artifact.embedding, artifact.solve_model
+            )
+        else:
+            solver = answered_by or options.solver
+            if solver == "dwave":  # nothing embedded to resample against
+                return False
+            fresh = self._runner._classical_sample(
+                solver,
+                artifact.solve_model,
+                num_reads,
+                num_sweeps=options.num_sweeps,
+                max_workers=options.max_workers,
+                seed_offset=round_index,
+                deadline=context.deadline,
+            )
+        if not len(fresh):
+            return False
+
+        # Keep the rows that already certified; append the fresh reads.
+        sampleset = artifact.sampleset
+        certificate = artifact.certificate
+        keep = np.ones(len(sampleset), dtype=bool)
+        for index in certificate.uncertified_rows():
+            keep[index] = False
+        positions = [fresh.variables.index(v) for v in sampleset.variables]
+        records = np.vstack(
+            [sampleset.records[keep], fresh.records[:, positions]]
+        )
+        energies = np.concatenate(
+            [sampleset.energies[keep], fresh.energies]
+        )
+        occurrences = np.concatenate(
+            [sampleset.occurrences[keep], fresh.occurrences]
+        )
+        artifact.sampleset = SampleSet(
+            sampleset.variables,
+            records,
+            energies,
+            occurrences,
+            dict(sampleset.info),
+        )
+        return True
+
+    def counters(self, artifact: RunArtifact, context: PipelineContext):
+        repair = artifact.certificate.repair if artifact.certificate else {}
+        return {
+            "rounds": int(repair.get("rounds", 0)),
+            "reads_repaired": int(repair.get("reads_repaired", 0)),
+            "certified_fraction": artifact.certificate.certified_fraction
+            if artifact.certificate
+            else 1.0,
+        }
 
 
 #: Stages whose time the legacy ``info["wall_time_s"]`` figure covers
@@ -638,6 +1057,9 @@ class QmasmRunner:
             SampleStage(self),
             UnembedStage(self),
             PostprocessStage(self),
+            CorruptReadsStage(),
+            CertifyStage(),
+            RepairStage(self),
         ]
 
     def _get_machine(self) -> DWaveSimulator:
@@ -687,6 +1109,7 @@ class QmasmRunner:
                         1 if attempt > 0 and policy.gauge_on_retry else 0
                     ),
                     max_workers=options.max_workers,
+                    deadline=context.deadline,
                 )
             except TransientSolverError as exc:
                 last_error = exc
@@ -704,33 +1127,99 @@ class QmasmRunner:
         num_reads: int,
         num_sweeps: Optional[int] = None,
         max_workers: Optional[int] = None,
+        seed_offset: int = 0,
+        deadline: Optional[Deadline] = None,
     ) -> SampleSet:
-        """One classical tier: the logical model on a software solver."""
+        """One classical tier: the logical model on a software solver.
+
+        ``seed_offset`` perturbs the sampler seed deterministically --
+        repair re-sample rounds must draw *fresh* reads, not replay the
+        round that produced the uncertified ones.
+        """
         seed = self.seed
+        if seed is not None and seed_offset:
+            seed = seed + seed_offset
         if solver == "sa":
             kwargs = {} if num_sweeps is None else {"num_sweeps": num_sweeps}
             return SimulatedAnnealingSampler(seed=seed).sample(
-                model, num_reads=num_reads, **kwargs
+                model, num_reads=num_reads, deadline=deadline, **kwargs
             )
         if solver == "sqa":
             from repro.solvers.sqa import PathIntegralAnnealer
 
             kwargs = {} if num_sweeps is None else {"num_sweeps": num_sweeps}
             return PathIntegralAnnealer(seed=seed).sample(
-                model, num_reads=min(num_reads, 32), **kwargs
+                model, num_reads=min(num_reads, 32), deadline=deadline, **kwargs
             )
         if solver == "exact":
             return ExactSolver().sample(model, num_lowest=num_reads)
         if solver == "tabu":
             kwargs = {} if num_sweeps is None else {"max_iter": num_sweeps}
             return TabuSampler(seed=seed).sample(
-                model, num_reads=num_reads, **kwargs
+                model, num_reads=num_reads, deadline=deadline, **kwargs
             )
         if solver == "qbsolv":
             return QBSolv(seed=seed, max_workers=max_workers).sample(
                 model, num_reads=min(num_reads, 10)
             )
         raise ValueError(f"unknown solver {solver!r}")
+
+    def _polish_rows(
+        self,
+        model: IsingModel,
+        sampleset: SampleSet,
+        rows: Sequence[int],
+        max_sweeps: int = 64,
+        deadline: Optional[Deadline] = None,
+    ) -> SampleSet:
+        """Bounded steepest descent on *selected* rows, in place.
+
+        Unlike :class:`~repro.solvers.greedy.SteepestDescentSolver`,
+        this keeps untouched rows (and their energies) bit-identical and
+        only descends the requested rows through the shared sweep
+        kernels -- the repair loop's "polish the offenders" primitive.
+        Polished rows get their energies recomputed; the returned set
+        re-sorts by the usual stable energy order.
+        """
+        if not len(rows):
+            return sampleset
+        order = list(model.variables)
+        positions = [sampleset.variables.index(v) for v in order]
+        row_index = np.asarray(list(rows), dtype=int)
+        spins = sampleset.records[row_index][:, positions].astype(float)
+
+        _, h_vec, indptr, indices, data = model.to_csr()
+        from repro.solvers import kernels
+
+        chosen = kernels.choose_kernel(len(order), len(indices), None)
+        fields = kernels.init_local_fields(h_vec, indptr, indices, data, spins)
+        flip = kernels.make_mixed_flip_updater(chosen, indptr, indices, data)
+        for _ in range(max_sweeps):
+            if deadline is not None and deadline.expired():
+                break
+            gains = 2.0 * spins * fields
+            best = np.argmax(gains, axis=1)
+            descending = np.arange(len(spins))
+            improving = gains[descending, best] > 1e-12
+            if not improving.any():
+                break
+            flip(spins, fields, descending[improving], best[improving])
+
+        # Scatter the polished spins back into sample-set column order.
+        inverse = [order.index(v) for v in sampleset.variables]
+        records = sampleset.records.copy()
+        records[row_index] = spins[:, inverse].astype(records.dtype)
+        energies = sampleset.energies.copy()
+        energies[row_index] = model.energies(
+            records[row_index].astype(float), order=list(sampleset.variables)
+        )
+        return SampleSet(
+            sampleset.variables,
+            records,
+            energies,
+            sampleset.occurrences.copy(),
+            dict(sampleset.info),
+        )
 
     def run(
         self,
@@ -748,6 +1237,11 @@ class QmasmRunner:
         embedding_seed: Optional[int] = None,
         postprocess: str = "optimization",
         retry_policy: Optional[RetryPolicy] = None,
+        certify: bool = False,
+        repair: bool = False,
+        netlist: object = None,
+        deadline: Optional[Union[float, Deadline]] = None,
+        energy_tolerance: float = 1e-6,
     ) -> RunResult:
         """Assemble and execute a QMASM program.
 
@@ -785,6 +1279,25 @@ class QmasmRunner:
                 runs (sample retries with gauge re-randomization,
                 chain-strength escalation, classical fallback tiers);
                 defaults to :class:`RetryPolicy`'s defaults.
+            certify: recompute every read's energy from the logical
+                model, replay the gate netlist (when given), and check
+                pins/assertions; the verdict lands on
+                :attr:`RunResult.certificate`.
+            repair: with ``certify``, run the self-repair loop on
+                uncertified reads (steepest-descent polish, then
+                budgeted escalated re-sampling) under the retry
+                policy's ``max_repair_rounds`` budget.
+            netlist: the gate-level netlist to replay during
+                certification (the compiler passes its own).
+            deadline: wall-clock budget in seconds (or a prearmed
+                :class:`~repro.core.deadline.Deadline`).  Samplers stop
+                cooperatively at sweep-batch granularity; optional
+                stages (postprocess, repair) are skipped once expired;
+                required stages that cannot start raise
+                :class:`~repro.core.deadline.DeadlineExceeded` carrying
+                the partial artifact and the interrupted stage name.
+            energy_tolerance: relative tolerance of the certification
+                energy comparison.
 
         Returns:
             A :class:`RunResult` with aggregated, energy-sorted
@@ -811,9 +1324,21 @@ class QmasmRunner:
             embedding_seed=embedding_seed,
             postprocess=postprocess,
             retry=retry_policy if retry_policy is not None else RetryPolicy(),
+            certify=certify,
+            repair=repair,
+            netlist=netlist,
+            energy_tolerance=energy_tolerance,
+        )
+        run_deadline: Optional[Deadline] = (
+            deadline
+            if deadline is None or isinstance(deadline, Deadline)
+            else Deadline(float(deadline))
         )
         context = PipelineContext(
-            options=options, seed=self.seed, trace=self.trace
+            options=options,
+            seed=self.seed,
+            trace=self.trace,
+            deadline=run_deadline,
         )
         artifact = RunArtifact(
             logical=logical,
@@ -828,6 +1353,24 @@ class QmasmRunner:
             )
 
         info = artifact.info
+        if run_deadline is not None:
+            sampler_interrupted = bool(
+                artifact.sampleset is not None
+                and artifact.sampleset.info.get("deadline_interrupted", False)
+            )
+            info["deadline"] = {
+                "budget_s": run_deadline.budget_s,
+                "elapsed_s": run_deadline.elapsed(),
+                "expired": run_deadline.expired(),
+                "sampler_interrupted": sampler_interrupted,
+            }
+            context.metrics.gauge("deadline.remaining_s").set(
+                run_deadline.remaining()
+            )
+            if sampler_interrupted:
+                context.metrics.counter("deadline.sampler_interrupts").inc()
+        if artifact.certificate is not None:
+            info["certificate"] = artifact.certificate.summary()
         info["wall_time_s"] = sum(
             record.wall_time_s
             for record in context.stats
@@ -861,6 +1404,8 @@ class QmasmRunner:
             embedding=artifact.embedding,
             physical_model=artifact.physical_model,
             info=info,
+            fixed_spins=dict(artifact.fixed),
+            certificate=artifact.certificate,
             stats=context.stats,
             metrics=context.metrics,
             trace=run_span if run_span.is_recording else None,

@@ -37,6 +37,7 @@ class SteepestDescentSolver:
         initial_states: Optional[np.ndarray] = None,
         max_sweeps: int = 1000,
         kernel: Optional[str] = None,
+        deadline=None,
     ) -> SampleSet:
         """Descend to a local minimum from each start.
 
@@ -48,6 +49,10 @@ class SteepestDescentSolver:
             max_sweeps: safety bound on descent sweeps.
             kernel: ``"dense"``/``"sparse"`` to force a field-update
                 backend; None picks by model size and density.
+            deadline: optional :class:`~repro.core.deadline.Deadline`;
+                checked once per descent sweep.  Expiry stops the
+                descent cleanly mid-way (states may not yet be local
+                minima) and sets ``info["deadline_interrupted"]``.
         """
         order = list(model.variables)
         n = len(order)
@@ -66,7 +71,11 @@ class SteepestDescentSolver:
         start = time.perf_counter()
         fields = kernels.init_local_fields(h_vec, indptr, indices, data, spins)
         flip = kernels.make_mixed_flip_updater(chosen, indptr, indices, data)
+        interrupted = False
         for _ in range(max_sweeps):
+            if deadline is not None and deadline.expired():
+                interrupted = True
+                break
             # Energy change of each candidate flip; positive s*field
             # means flipping lowers the energy by 2*s*field.
             gains = 2.0 * spins * fields
@@ -78,11 +87,14 @@ class SteepestDescentSolver:
             flip(spins, fields, rows[improving], best[improving])
 
         elapsed = time.perf_counter() - start
+        info = {"solver": "steepest-descent", "kernel": chosen}
+        if interrupted:
+            info["deadline_interrupted"] = True
         result = SampleSet.from_array(
             order,
             spins.astype(np.int8),
             model,
-            info={"solver": "steepest-descent", "kernel": chosen},
+            info=info,
         )
         _observe_sample("greedy", result, elapsed, kernel=chosen,
                         num_reads=len(spins))

@@ -209,12 +209,20 @@ def make_mixed_flip_updater(
     return flip
 
 
+#: How many sweeps run between deadline polls: the sweep-batch
+#: granularity of cooperative cancellation.  A deadline-bounded anneal
+#: can overshoot its budget by at most this many sweeps.
+DEADLINE_SWEEP_BATCH = 16
+
+
 def metropolis_sweeps(
     rng: np.random.Generator,
     spins: np.ndarray,
     fields: np.ndarray,
     betas: np.ndarray,
     flip: FlipUpdater,
+    deadline=None,
+    stats: Optional[dict] = None,
 ) -> int:
     """Run Metropolis single-spin-flip sweeps over a batch of reads.
 
@@ -228,11 +236,27 @@ def metropolis_sweeps(
     is what makes the two backends sample-for-sample identical.  Every
     proposal consumes one uniform per read (drawn per sweep in a single
     block), so acceptance math never feeds back into the RNG stream.
+
+    Args:
+        deadline: optional :class:`~repro.core.deadline.Deadline`; the
+            loop polls it every :data:`DEADLINE_SWEEP_BATCH` sweeps and
+            stops cleanly (no exception) when it expires, leaving
+            ``spins`` at the last completed sweep.  Deadline polling
+            never consumes RNG state, so a run that finishes under its
+            budget is bit-identical to an unbounded one.
+        stats: optional dict; receives ``sweeps_completed``.
     """
     n = spins.shape[1]
     num_reads = spins.shape[0]
     accepted = 0
-    for beta in betas:
+    completed = 0
+    for sweep, beta in enumerate(betas):
+        if (
+            deadline is not None
+            and sweep % DEADLINE_SWEEP_BATCH == 0
+            and deadline.expired()
+        ):
+            break
         variables = rng.permutation(n)
         uniforms = rng.random((n, num_reads))
         two_beta = 2.0 * beta
@@ -248,4 +272,7 @@ def metropolis_sweeps(
             if len(rows):
                 flip(spins, fields, i, rows)
                 accepted += len(rows)
+        completed += 1
+    if stats is not None:
+        stats["sweeps_completed"] = completed
     return accepted

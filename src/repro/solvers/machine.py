@@ -36,20 +36,30 @@ from repro.solvers.neal import SimulatedAnnealingSampler
 from repro.solvers.sampleset import SampleSet
 
 
-def _anneal_batch(job) -> Tuple[List, np.ndarray, str]:
+def _anneal_batch(job, deadline=None) -> Tuple[List, np.ndarray, str, bool]:
     """Anneal one gauge batch on a private sampler.
 
     Module-level so a :class:`~concurrent.futures.ProcessPoolExecutor`
     can pickle it; every stochastic input (the programmed model and the
     core seed) is baked into ``job`` by the parent, so the result does
     not depend on which process runs it or in what order.
+
+    The job's sixth slot is a picklable
+    :class:`~repro.core.deadline.Budget` (or None): monotonic-clock
+    readings cannot cross a process boundary, so each worker re-arms
+    the remaining budget on its own clock via ``budget.start()``.  A
+    live ``deadline`` argument (serial path only) takes precedence.
     """
-    programmed, batch_reads, num_sweeps, core_seed, kernel = job
+    programmed, batch_reads, num_sweeps, core_seed, kernel, budget = job
+    if deadline is None and budget is not None:
+        deadline = budget.start()
     core = SimulatedAnnealingSampler(seed=core_seed)
     raw = core.sample(
-        programmed, num_reads=batch_reads, num_sweeps=num_sweeps, kernel=kernel
+        programmed, num_reads=batch_reads, num_sweeps=num_sweeps, kernel=kernel,
+        deadline=deadline,
     )
-    return list(raw.variables), raw.records, raw.info.get("kernel", "")
+    interrupted = bool(raw.info.get("deadline_interrupted", False))
+    return list(raw.variables), raw.records, raw.info.get("kernel", ""), interrupted
 
 
 @dataclass
@@ -161,6 +171,7 @@ class DWaveSimulator:
         num_spin_reversal_transforms: int = 0,
         kernel: Optional[str] = None,
         max_workers: Optional[int] = None,
+        deadline=None,
     ) -> SampleSet:
         """Anneal an embedded problem ``num_reads`` times.
 
@@ -183,6 +194,15 @@ class DWaveSimulator:
                 size.  All randomness (gauges, analog noise, per-batch
                 core seeds) is drawn from the simulator RNG *before*
                 dispatch, so results are bit-identical to serial.
+            deadline: optional :class:`~repro.core.deadline.Deadline`.
+                The serial path hands the live deadline straight to the
+                annealing core; the pooled path ships a picklable
+                remaining-seconds :class:`~repro.core.deadline.Budget`
+                in each job (workers re-arm it on their own monotonic
+                clock).  Interrupted anneals return whatever sweeps
+                completed and set ``info["deadline_interrupted"]``; the
+                pool context always joins its workers, so expiry leaks
+                no processes.
 
         Returns:
             A :class:`SampleSet` whose ``info["timing"]`` mirrors a QPU
@@ -232,18 +252,28 @@ class DWaveSimulator:
                 self._apply_control_noise(gauged) if apply_noise else gauged
             )
             core_seed = int(self._rng.integers(0, 2**63))
-            jobs.append((programmed, batch_reads, num_sweeps, core_seed, kernel))
+            budget = deadline.budget() if deadline is not None else None
+            jobs.append(
+                (programmed, batch_reads, num_sweeps, core_seed, kernel, budget)
+            )
             gauges.append(gauge)
 
         if max_workers is not None and max_workers > 1 and len(jobs) > 1:
+            # The ``with`` context shuts the pool down and joins every
+            # worker before returning -- a deadline expiry can shorten
+            # the anneals but never leak processes.
             with ProcessPoolExecutor(max_workers=max_workers) as pool:
                 results = list(pool.map(_anneal_batch, jobs))
         else:
-            results = [_anneal_batch(job) for job in jobs]
+            results = [_anneal_batch(job, deadline=deadline) for job in jobs]
 
         records = []
         kernel_used = ""
-        for (variables, raw_records, kernel_used), gauge in zip(results, gauges):
+        any_interrupted = False
+        for (variables, raw_records, kernel_used, interrupted), gauge in zip(
+            results, gauges
+        ):
+            any_interrupted = any_interrupted or interrupted
             # Undo the gauge on readout (and restore variable order).
             positions = [variables.index(v) for v in order]
             rows = raw_records[:, positions].astype(float) * gauge[None, :]
@@ -278,6 +308,8 @@ class DWaveSimulator:
             "noise_applied": apply_noise,
             "num_spin_reversal_transforms": num_spin_reversal_transforms,
         }
+        if any_interrupted:
+            sampleset.info["deadline_interrupted"] = True
         if reads_corrupted:
             sampleset.info["injected_read_corruption"] = reads_corrupted
         _observe_sample("dwave", sampleset, time.perf_counter() - start,

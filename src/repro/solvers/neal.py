@@ -63,6 +63,7 @@ class SimulatedAnnealingSampler:
         beta_range: Optional[Tuple[float, float]] = None,
         initial_states: Optional[np.ndarray] = None,
         kernel: Optional[str] = None,
+        deadline=None,
     ) -> SampleSet:
         """Anneal ``num_reads`` independent replicas of the model.
 
@@ -81,6 +82,11 @@ class SimulatedAnnealingSampler:
             kernel: ``"dense"``/``"sparse"`` to force a sweep backend;
                 None picks by model size and density
                 (:func:`repro.solvers.kernels.choose_kernel`).
+            deadline: optional :class:`~repro.core.deadline.Deadline`;
+                the sweep loop stops cooperatively at sweep-batch
+                granularity when it expires (never raises).  A short run
+                sets ``info["deadline_interrupted"]`` and reports the
+                sweeps actually completed.
 
         Returns:
             A :class:`SampleSet` sorted by energy, with timing info under
@@ -124,25 +130,32 @@ class SimulatedAnnealingSampler:
         # Local fields: fields[r, i] = h_i + sum_j J_ij s_rj.
         fields = kernels.init_local_fields(h_vec, indptr, indices, data, spins)
         flip = kernels.make_flip_updater(chosen, indptr, indices, data)
+        sweep_stats: dict = {}
         accepted = kernels.metropolis_sweeps(
-            self._rng, spins, fields, betas, flip
+            self._rng, spins, fields, betas, flip,
+            deadline=deadline, stats=sweep_stats,
         )
         elapsed = time.perf_counter() - start
+        completed = sweep_stats.get("sweeps_completed", num_sweeps)
 
+        info = {
+            "solver": "simulated-annealing",
+            "kernel": chosen,
+            "num_reads": num_reads,
+            "num_sweeps": num_sweeps,
+            "beta_range": (float(beta_hot), float(beta_cold)),
+            "sampling_time_s": elapsed,
+            "sweeps_per_s": num_sweeps / elapsed if elapsed > 0 else 0.0,
+            "accepted_flips": int(accepted),
+        }
+        if completed < num_sweeps:
+            info["deadline_interrupted"] = True
+            info["num_sweeps_completed"] = int(completed)
         result = SampleSet.from_array(
             order,
             spins.astype(np.int8),
             model,
-            info={
-                "solver": "simulated-annealing",
-                "kernel": chosen,
-                "num_reads": num_reads,
-                "num_sweeps": num_sweeps,
-                "beta_range": (float(beta_hot), float(beta_cold)),
-                "sampling_time_s": elapsed,
-                "sweeps_per_s": num_sweeps / elapsed if elapsed > 0 else 0.0,
-                "accepted_flips": int(accepted),
-            },
+            info=info,
         )
         _observe_sample("sa", result, elapsed, kernel=chosen,
                         num_reads=num_reads, num_sweeps=num_sweeps,

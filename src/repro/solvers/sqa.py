@@ -57,6 +57,7 @@ class PathIntegralAnnealer:
         temperature: float = 0.05,
         transverse_field: Tuple[float, float] = (2.0, 1e-8),
         kernel: Optional[str] = None,
+        deadline=None,
     ) -> SampleSet:
         """Anneal the transverse field from strong to (near) zero.
 
@@ -74,6 +75,12 @@ class PathIntegralAnnealer:
                 final value should be ~0.
             kernel: ``"dense"``/``"sparse"`` to force a sweep backend;
                 None picks by model size and density.
+            deadline: optional :class:`~repro.core.deadline.Deadline`;
+                the Monte Carlo loop polls it once per sweep (PIMC
+                sweeps span all slices, so one sweep *is* the batch)
+                and stops cleanly when it expires, returning the best
+                replicas found so far with
+                ``info["deadline_interrupted"]`` set.
 
         Returns:
             A :class:`SampleSet` with one row per read: the best replica
@@ -113,7 +120,10 @@ class PathIntegralAnnealer:
         flip = kernels.make_flip_updater(chosen, indptr, indices, data)
 
         accepted = 0
+        completed = 0
         for field in fields_schedule:
+            if deadline is not None and deadline.expired():
+                break
             # Inter-slice ferromagnetic coupling from the Trotter
             # decomposition; diverges as the field -> 0, freezing the
             # replicas together.
@@ -143,6 +153,7 @@ class PathIntegralAnnealer:
                     rows = np.where(accept)[0]
                     flip(spins, local, i, rows)
                     accepted += len(rows)
+            completed += 1
 
         # Report each read's best slice as its classical readout.
         energies = kernels.batched_energies(
@@ -153,21 +164,25 @@ class PathIntegralAnnealer:
         best_rows = spins[rows].astype(np.int8)
         elapsed = time.perf_counter() - start
 
+        info = {
+            "solver": "simulated-quantum-annealing",
+            "kernel": chosen,
+            "trotter_slices": slices,
+            "temperature": temperature,
+            "num_reads": num_reads,
+            "num_sweeps": num_sweeps,
+            "sampling_time_s": elapsed,
+            "sweeps_per_s": num_sweeps / elapsed if elapsed > 0 else 0.0,
+            "accepted_flips": int(accepted),
+        }
+        if completed < num_sweeps:
+            info["deadline_interrupted"] = True
+            info["num_sweeps_completed"] = int(completed)
         result = SampleSet.from_array(
             order,
             best_rows,
             model,
-            info={
-                "solver": "simulated-quantum-annealing",
-                "kernel": chosen,
-                "trotter_slices": slices,
-                "temperature": temperature,
-                "num_reads": num_reads,
-                "num_sweeps": num_sweeps,
-                "sampling_time_s": elapsed,
-                "sweeps_per_s": num_sweeps / elapsed if elapsed > 0 else 0.0,
-                "accepted_flips": int(accepted),
-            },
+            info=info,
         )
         _observe_sample("sqa", result, elapsed, kernel=chosen,
                         num_reads=num_reads, num_sweeps=num_sweeps,

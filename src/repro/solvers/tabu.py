@@ -38,6 +38,7 @@ class TabuSampler:
         tenure: Optional[int] = None,
         max_iter: int = 2000,
         kernel: Optional[str] = None,
+        deadline=None,
     ) -> SampleSet:
         """Run ``num_reads`` independent tabu searches.
 
@@ -49,6 +50,12 @@ class TabuSampler:
             max_iter: flip iterations per restart.
             kernel: ``"dense"``/``"sparse"`` to force a field-update
                 backend; None picks by model size and density.
+            deadline: optional :class:`~repro.core.deadline.Deadline`;
+                checked between restarts and every 64 iterations inside
+                a search.  Expiry stops cleanly: interrupted restarts
+                return their best-so-far state, unstarted restarts keep
+                their random initial state, and
+                ``info["deadline_interrupted"]`` is set.
         """
         order = list(model.variables)
         n = len(order)
@@ -70,22 +77,32 @@ class TabuSampler:
         flip = kernels.make_flip_updater(chosen, indptr, indices, data)
 
         rows = np.empty((num_reads, n), dtype=np.int8)
+        interrupted = False
         for read in range(num_reads):
+            if deadline is not None and deadline.expired():
+                # Unstarted restarts keep their random initial state.
+                rows[read:] = spins[read:].astype(np.int8)
+                interrupted = True
+                break
             rows[read] = self._search(
-                spins, fields, float(energies[read]), read, tenure, max_iter, flip
+                spins, fields, float(energies[read]), read, tenure, max_iter,
+                flip, deadline,
             )
         elapsed = time.perf_counter() - start
+        info = {
+            "solver": "tabu",
+            "kernel": chosen,
+            "tenure": tenure,
+            "num_reads": num_reads,
+            "sampling_time_s": elapsed,
+        }
+        if interrupted or (deadline is not None and deadline.expired()):
+            info["deadline_interrupted"] = True
         result = SampleSet.from_array(
             order,
             rows,
             model,
-            info={
-                "solver": "tabu",
-                "kernel": chosen,
-                "tenure": tenure,
-                "num_reads": num_reads,
-                "sampling_time_s": elapsed,
-            },
+            info=info,
         )
         _observe_sample("tabu", result, elapsed, kernel=chosen,
                         num_reads=num_reads, tenure=tenure)
@@ -100,6 +117,7 @@ class TabuSampler:
         tenure: int,
         max_iter: int,
         flip: kernels.FlipUpdater,
+        deadline=None,
     ) -> np.ndarray:
         n = spins.shape[1]
         row = np.array([read])
@@ -110,6 +128,12 @@ class TabuSampler:
         tabu_until = np.zeros(n, dtype=int)
 
         for it in range(max_iter):
+            if (
+                deadline is not None
+                and it % 64 == 0
+                and deadline.expired()
+            ):
+                break
             deltas = -2.0 * s * f
             allowed = tabu_until <= it
             # Aspiration: permit a tabu flip that would beat the best.

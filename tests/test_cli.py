@@ -101,3 +101,77 @@ def test_sequential_needs_steps(tmp_path, capsys):
     path.write_text(LISTING_3_COUNTER)
     assert main([str(path)]) == 1
     assert main([str(path), "--steps", "2"]) == 0
+
+
+# ----------------------------------------------------------------------
+# Structured --pin diagnostics (exit 2, one-line errors)
+# ----------------------------------------------------------------------
+def test_malformed_pin_exits_2_with_diagnostic(verilog_file, capsys):
+    code = main(
+        [verilog_file, "--run", "--solver", "exact", "--pin", "garbage"]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: --pin 'garbage':")
+    assert err.count("\n") == 1  # one line, not a traceback
+    assert "Traceback" not in err
+
+
+def test_unknown_pin_variable_exits_2_and_lists_known(verilog_file, capsys):
+    code = main(
+        [verilog_file, "--run", "--solver", "exact",
+         "--pin", "nosuch := true"]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: --pin 'nosuch := true':")
+    assert "unknown variable(s) nosuch" in err
+    assert "known:" in err and "s" in err
+    assert "Traceback" not in err
+
+
+# ----------------------------------------------------------------------
+# Certification and deadline exit codes
+# ----------------------------------------------------------------------
+def test_certify_clean_run_exits_0(verilog_file, capsys):
+    code = main(
+        [verilog_file, "--run", "--solver", "sa", "--seed", "0",
+         "--num-reads", "10", "--certify"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "certificate: certified" in out
+
+
+def test_certify_flags_injected_corruption_exit_3(verilog_file, capsys):
+    code = main(
+        [verilog_file, "--run", "--solver", "dwave", "--seed", "7",
+         "--num-reads", "30",
+         "--inject-fault", "read_corruption=40%,seed=3", "--certify"]
+    )
+    assert code == 3
+    captured = capsys.readouterr()
+    assert "certification failed" in captured.err
+    assert "certificate: certified" in captured.out
+
+
+def test_repair_restores_certification_exit_0(verilog_file, capsys):
+    code = main(
+        [verilog_file, "--run", "--solver", "dwave", "--seed", "7",
+         "--num-reads", "30",
+         "--inject-fault", "read_corruption=40%,seed=3", "--repair"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "repaired in" in out
+
+
+def test_deadline_exceeded_exits_4(verilog_file, capsys):
+    code = main(
+        [verilog_file, "--run", "--solver", "sa", "--seed", "0",
+         "--deadline", "1e-9"]
+    )
+    assert code == 4
+    err = capsys.readouterr().err
+    assert "deadline" in err and "stage" in err
+    assert "Traceback" not in err

@@ -181,3 +181,77 @@ def test_reader_rejects_missing_design_cell():
     """
     with pytest.raises(EdifError):
         read_edif(bad)
+
+
+# ----------------------------------------------------------------------
+# EDIF round-trips of escaped / pathological identifiers
+# ----------------------------------------------------------------------
+#: Names no EDIF symbol can carry directly: every one must survive the
+#: writer's ``(rename safe "original")`` form and come back verbatim.
+PATHOLOGICAL_NAMES = [
+    "1bad",  # leading digit
+    "42",  # all digits
+    "\\state.q[3]",  # Verilog backslash-escaped hierarchical name
+    "has space",  # embedded space
+    'say "hi"',  # embedded quotes (sexp string escaping)
+    "a+b-c*d",  # operator soup
+]
+
+
+@pytest.mark.parametrize("name", PATHOLOGICAL_NAMES)
+def test_pathological_port_name_roundtrips(name):
+    nl = Netlist("top")
+    a, y = nl.new_net(), nl.new_net()
+    nl.add_port(name, PortDirection.INPUT, [a])
+    nl.add_port("y", PortDirection.OUTPUT, [y])
+    nl.add_cell("NOT", {"A": a, "Y": y})
+    text = write_edif(nl)
+    assert "(rename " in text
+    back = read_edif(text)
+    assert set(back.ports) == {name, "y"}
+    assert back.ports[name].direction == PortDirection.INPUT
+    sim = NetlistSimulator(back)
+    assert sim.evaluate({name: 0})["y"] == 1
+    assert sim.evaluate({name: 1})["y"] == 0
+
+
+def test_pathological_multibit_port_roundtrips():
+    """(array (rename ...) width) and its (member ...) references."""
+    nl = Netlist("top")
+    bits = nl.new_nets(2)
+    y = nl.new_net()
+    nl.add_port("2 wide\\bus", PortDirection.INPUT, bits)
+    nl.add_port("y", PortDirection.OUTPUT, [y])
+    nl.add_cell("AND", {"A": bits[0], "B": bits[1], "Y": y})
+    back = read_edif(write_edif(nl))
+    assert back.ports["2 wide\\bus"].width == 2
+    sim = NetlistSimulator(back)
+    assert sim.evaluate({"2 wide\\bus": 3})["y"] == 1
+    assert sim.evaluate({"2 wide\\bus": 1})["y"] == 0
+
+
+def test_pathological_cell_and_module_names_roundtrip():
+    nl = Netlist("9 weird \\module")
+    a, y = nl.new_net(), nl.new_net()
+    nl.add_port("a", PortDirection.INPUT, [a])
+    nl.add_port("y", PortDirection.OUTPUT, [y])
+    nl.add_cell("NOT", {"A": a, "Y": y}, name="\\gen[0].u$not")
+    back = read_edif(write_edif(nl))
+    assert back.name == "9 weird \\module"
+    assert "\\gen[0].u$not" in back.cells
+    assert back.cell_histogram() == {"NOT": 1}
+
+
+def test_sanitized_name_collisions_stay_distinct():
+    """'a b' and 'a+b' both sanitize to 'a_b'; originals must win."""
+    nl = Netlist("top")
+    a, b, y = nl.new_net(), nl.new_net(), nl.new_net()
+    nl.add_port("a b", PortDirection.INPUT, [a])
+    nl.add_port("a+b", PortDirection.INPUT, [b])
+    nl.add_port("y", PortDirection.OUTPUT, [y])
+    nl.add_cell("AND", {"A": a, "B": b, "Y": y})
+    back = read_edif(write_edif(nl))
+    assert {"a b", "a+b", "y"} == set(back.ports)
+    sim = NetlistSimulator(back)
+    assert sim.evaluate({"a b": 1, "a+b": 0})["y"] == 0
+    assert sim.evaluate({"a b": 1, "a+b": 1})["y"] == 1

@@ -231,6 +231,7 @@ class TestTransientFaults:
             "sample_calls": 3,
             "transient_failures": 2,
             "reads_corrupted": 0,
+            "logical_reads_corrupted": 0,
         }
 
     def test_failure_rates_fire(self):

@@ -37,6 +37,9 @@ RUN_STAGES = [
     "run.sample",
     "run.unembed",
     "run.postprocess",
+    "run.corrupt_reads",
+    "run.certify",
+    "run.repair",
 ]
 
 

@@ -6,6 +6,8 @@ embedding-cache reuse across runs of the same compiled program, the
 trace-event callback, and the new CLI flags.
 """
 
+import os
+
 import pytest
 
 from repro import CompileOptions, VerilogAnnealerCompiler
@@ -44,6 +46,9 @@ RUN_STAGES = [
     "sample",
     "unembed",
     "postprocess",
+    "corrupt_reads",
+    "certify",
+    "repair",
 ]
 
 AND_PROGRAM = "!include <stdcell>\n!use_macro AND g\n"
@@ -237,6 +242,107 @@ def test_compilation_cache_key_depends_on_source_and_options():
     assert base != CompilationCache.key_for(
         "module m; endmodule", CompileOptions(unroll_steps=2)
     )
+
+
+# ----------------------------------------------------------------------
+# Crash-safe disk tier (atomic temp-file + rename writes)
+# ----------------------------------------------------------------------
+_KILL_MID_WRITE_CHILD = """
+import os
+import sys
+import time
+
+from repro.core.cache import ArtifactCache
+
+cache = ArtifactCache(cache_dir=sys.argv[1])
+real_fsync = os.fsync
+
+
+def fsync_then_hang(fd):
+    # The temp file's bytes are durable, but os.replace() has not run
+    # yet: SIGKILL here is exactly "process died mid-store".
+    real_fsync(fd)
+    print("MID-WRITE", flush=True)
+    time.sleep(60)
+
+
+os.fsync = fsync_then_hang
+cache.put(sys.argv[2], "NEW-" + "x" * 100000)
+"""
+
+
+def test_kill_mid_write_never_leaves_a_corrupt_entry(tmp_path):
+    """SIGKILL between temp-write and rename must not corrupt the cache.
+
+    A previous valid entry under the same key survives intact, the
+    final path never shows a partial pickle, and a fresh cache reads
+    cleanly with zero disk errors (the pre-atomic code wrote straight
+    to ``<key>.pkl.tmp`` then renamed without fsync, and before PR 1
+    to the final name directly -- both could leave torn entries).
+    """
+    import signal
+    import subprocess
+    import sys
+
+    import repro.core.cache as cache_mod
+    from repro.core.cache import ArtifactCache
+
+    cache_dir = str(tmp_path / "cache")
+    key = "entry"
+    seeded = ArtifactCache(cache_dir=cache_dir)
+    seeded.put(key, "OLD")
+
+    src_dir = os.path.dirname(  # .../src, from src/repro/core/cache.py
+        os.path.dirname(os.path.dirname(os.path.dirname(cache_mod.__file__)))
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    child = subprocess.Popen(
+        [sys.executable, "-c", _KILL_MID_WRITE_CHILD, cache_dir, key],
+        stdout=subprocess.PIPE,
+        env=env,
+    )
+    try:
+        line = child.stdout.readline()
+        assert b"MID-WRITE" in line, "child never reached the write window"
+        child.kill()  # SIGKILL: no cleanup handlers run
+    finally:
+        child.wait()
+        child.stdout.close()
+    assert child.returncode == -signal.SIGKILL
+
+    # The interrupted overwrite left its temp file (if anything) but
+    # the final name still holds the old, fully-written entry.
+    leftovers = sorted(os.listdir(cache_dir))
+    assert f"{key}.pkl" in leftovers
+    assert all(
+        name == f"{key}.pkl" or ".tmp" in name for name in leftovers
+    )
+
+    fresh = ArtifactCache(cache_dir=cache_dir)
+    assert fresh.get(key) == "OLD"
+    assert fresh.stats.disk_errors == 0
+
+
+def test_failed_disk_write_cleans_up_temp_file(tmp_path, monkeypatch):
+    """A failed rename degrades to memory-only and removes its temp."""
+    from repro.core.cache import ArtifactCache
+
+    cache_dir = str(tmp_path / "cache")
+    cache = ArtifactCache(cache_dir=cache_dir)
+
+    def broken_replace(src, dst):
+        raise OSError("disk full")
+
+    monkeypatch.setattr("repro.core.cache.os.replace", broken_replace)
+    cache.put("key", "value")
+    assert cache.stats.disk_errors == 1
+    assert os.listdir(cache_dir) == []  # no final entry, no stray temp
+    assert cache.get("key") == "value"  # memory tier still serves it
+
+    monkeypatch.undo()
+    fresh = ArtifactCache(cache_dir=cache_dir)
+    assert fresh.get("key") is None  # disk tier was a clean miss
 
 
 # ----------------------------------------------------------------------
