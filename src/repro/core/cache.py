@@ -244,16 +244,23 @@ class ArtifactCache:
 class CompilationCache(ArtifactCache):
     """Caches :class:`~repro.core.compiler.CompiledProgram` objects.
 
-    Keyed by the Verilog source text and the full
-    :class:`~repro.core.compiler.CompileOptions`, so any option change
-    (e.g. a different ``unroll_steps``) is a distinct entry.
+    Keyed by the Verilog source text, the full
+    :class:`~repro.core.compiler.CompileOptions`, and the target
+    topology fingerprint, so any option change (e.g. a different
+    ``unroll_steps``) is a distinct entry and programs compiled against
+    different hardware families never alias.  Callers compiling without
+    a concrete machine pass the default target-agnostic marker.
     """
 
     metric_name = "compile"
 
     @staticmethod
-    def key_for(source: str, options: Any) -> str:
-        return stable_hash("verilog:" + source, "options:" + options_fingerprint(options))
+    def key_for(source: str, options: Any, target: str = "any") -> str:
+        return stable_hash(
+            "verilog:" + source,
+            "options:" + options_fingerprint(options),
+            "target:" + target,
+        )
 
 
 class EmbeddingCache(ArtifactCache):
@@ -271,7 +278,12 @@ class EmbeddingCache(ArtifactCache):
     The target fingerprint is computed over the machine's *working*
     graph, so a degraded machine (dead qubits/couplers from the yield
     model or fault injection) never reuses an embedding found for a
-    healthier -- or differently damaged -- unit.
+    healthier -- or differently damaged -- unit.  The ``topology``
+    component additionally names the hardware family and its parameters
+    (:meth:`repro.hardware.topology.Topology.fingerprint`): two
+    topologies whose working graphs could ever hash alike -- or whose
+    yield models differ only in provenance -- still get distinct
+    entries.
     """
 
     metric_name = "embedding"
@@ -283,10 +295,12 @@ class EmbeddingCache(ArtifactCache):
         seed: Optional[int] = None,
         tries: int = 16,
         max_attempts: int = 1,
+        topology: str = "",
     ) -> str:
         return stable_hash(
             "source:" + graph_fingerprint(source_graph),
             "target:" + graph_fingerprint(target_graph),
+            "topology:" + topology,
             f"seed:{seed!r}",
             f"tries:{tries}",
             f"max_attempts:{max_attempts}",

@@ -107,9 +107,36 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--run", action="store_true", help="execute the program")
     parser.add_argument(
         "--solver",
-        choices=["dwave", "sa", "sqa", "exact", "tabu", "qbsolv"],
+        choices=["dwave", "sa", "sqa", "exact", "tabu", "qbsolv", "shard"],
         default="dwave",
-        help="execution backend (default: simulated D-Wave 2000Q)",
+        help=(
+            "execution backend (default: simulated D-Wave 2000Q); "
+            "'shard' decomposes across a fleet of --machines chips"
+        ),
+    )
+    from repro.hardware.registry import available_topologies
+
+    parser.add_argument(
+        "--topology",
+        choices=list(available_topologies()),
+        default="chimera",
+        help="hardware graph family for the simulated annealer "
+        "(default: chimera, the 2000Q's)",
+    )
+    parser.add_argument(
+        "--topology-size",
+        type=int,
+        default=None,
+        metavar="M",
+        help="grid parameter for --topology (default: the family's "
+        "flagship chip, e.g. C16/P16/Z15)",
+    )
+    parser.add_argument(
+        "--machines",
+        type=int,
+        default=4,
+        metavar="N",
+        help="simulated fleet size for --solver shard (default: 4)",
     )
     parser.add_argument(
         "--num-reads",
@@ -265,20 +292,31 @@ def _run_command(args: argparse.Namespace) -> int:
             source = handle.read()
 
     machine = None
+    spec = None
     if args.inject_fault:
         try:
-            spec = None
             for text in args.inject_fault:
                 spec = parse_fault_spec(text, base=spec)
         except ValueError as exc:
             print(f"error: --inject-fault: {exc}", file=sys.stderr)
             return 1
-        from repro.solvers.machine import DWaveSimulator
+    if spec is not None or args.topology != "chimera" or args.topology_size:
+        from repro.solvers.machine import DWaveSimulator, MachineProperties
 
-        machine = DWaveSimulator(seed=args.seed, faults=spec)
+        props = MachineProperties(topology=args.topology)
+        if args.topology_size:
+            props = MachineProperties(
+                topology=args.topology, cells=args.topology_size
+            )
+        machine = DWaveSimulator(
+            properties=props, seed=args.seed, faults=spec
+        )
 
     compiler = VerilogAnnealerCompiler(
-        machine=machine, seed=args.seed, cache=not args.no_cache
+        machine=machine,
+        seed=args.seed,
+        cache=not args.no_cache,
+        machines=args.machines,
     )
     options = CompileOptions(top=args.top, unroll_steps=args.steps)
     try:

@@ -321,6 +321,7 @@ class VerilogAnnealerCompiler:
             across processes.
         trace: optional callback receiving per-stage begin/end trace
             events from both compilation and execution pipelines.
+        machines: simulated fleet size for the ``"shard"`` solver.
     """
 
     def __init__(
@@ -330,6 +331,7 @@ class VerilogAnnealerCompiler:
         cache: Union[bool, CompilationCache] = True,
         cache_dir: Optional[str] = None,
         trace: Optional[TraceCallback] = None,
+        machines: int = 4,
     ):
         self.seed = seed
         self.trace = trace
@@ -348,6 +350,7 @@ class VerilogAnnealerCompiler:
                 cache_dir=cache_dir, enabled=cache_enabled
             ),
             trace=trace,
+            machines=machines,
         )
         #: The lowering pipeline; callers may reorder/extend/replace.
         self.compile_stages: List[Stage] = default_compile_stages()
@@ -370,7 +373,16 @@ class VerilogAnnealerCompiler:
             raise TypeError("pass either options or keyword overrides, not both")
 
         with _trace.span("compile") as span:
-            cache_key = CompilationCache.key_for(verilog_source, options)
+            # Keyed by the attached machine's topology fingerprint so
+            # programs compiled against different hardware families
+            # never alias; a machine-less compiler stays on the
+            # target-agnostic marker (and never builds a C16 graph
+            # just to hash its name).
+            machine = self.runner.machine
+            target = (
+                machine.topology.fingerprint() if machine is not None else "any"
+            )
+            cache_key = CompilationCache.key_for(verilog_source, options, target)
             cached = self.compile_cache.get(cache_key)
             if cached is not None:
                 span.set_attributes(cached=True)

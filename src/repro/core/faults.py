@@ -82,6 +82,13 @@ class FaultSpec:
             the graph are ignored, so one list serves many sizes).
         dead_coupler_fraction: fraction of couplers to kill.
         dead_couplers: explicit ``(u, v)`` coupler pairs to kill.
+        dead_cell_fraction: fraction of native cells (topology tiles)
+            to kill wholesale -- every qubit in a chosen tile dies
+            together, the spatially-correlated damage a fabrication
+            defect causes.  Requires the degrading machine to supply
+            its :class:`~repro.hardware.topology.Topology`.
+        dead_cells: explicit ``(row, col)`` tile keys to kill (keys
+            absent from the topology's tiling are ignored).
         fail_first_samples: fail this many initial ``sample_ising``
             calls with a :class:`TransientSolverError`.
         sample_failure_rate: probability that any later sample call
@@ -102,6 +109,8 @@ class FaultSpec:
     dead_qubits: Tuple[int, ...] = ()
     dead_coupler_fraction: float = 0.0
     dead_couplers: Tuple[Tuple[int, int], ...] = ()
+    dead_cell_fraction: float = 0.0
+    dead_cells: Tuple[Tuple[int, int], ...] = ()
     fail_first_samples: int = 0
     sample_failure_rate: float = 0.0
     programming_drop_rate: float = 0.0
@@ -113,6 +122,7 @@ class FaultSpec:
         for name in (
             "dead_qubit_fraction",
             "dead_coupler_fraction",
+            "dead_cell_fraction",
             "sample_failure_rate",
             "programming_drop_rate",
             "chain_break_rate",
@@ -130,6 +140,11 @@ class FaultSpec:
             "dead_couplers",
             tuple(tuple(pair) for pair in self.dead_couplers),
         )
+        object.__setattr__(
+            self,
+            "dead_cells",
+            tuple(tuple(cell) for cell in self.dead_cells),
+        )
 
     @property
     def has_yield_faults(self) -> bool:
@@ -139,6 +154,8 @@ class FaultSpec:
             or self.dead_qubits
             or self.dead_coupler_fraction
             or self.dead_couplers
+            or self.dead_cell_fraction
+            or self.dead_cells
         )
 
     @property
@@ -157,6 +174,7 @@ class FaultSpec:
 _SPEC_KEYS = {
     "dead_qubits": "dead_qubit_fraction",
     "dead_couplers": "dead_coupler_fraction",
+    "dead_cells": "dead_cell_fraction",
     "fail_first": "fail_first_samples",
     "fail_rate": "sample_failure_rate",
     "drop_rate": "programming_drop_rate",
@@ -185,11 +203,11 @@ def parse_fault_spec(text: str, base: Optional[FaultSpec] = None) -> FaultSpec:
 
         dead_qubits=5%,fail_first=2,break_chains=0.3,seed=7
 
-    Keys: ``dead_qubits`` / ``dead_couplers`` (fraction or percentage),
-    ``fail_first`` (count), ``fail_rate`` / ``drop_rate`` /
-    ``break_chains`` / ``read_corruption`` (fraction or percentage),
-    ``seed`` (int).  Explicit
-    dead-qubit/coupler *lists* are API-only
+    Keys: ``dead_qubits`` / ``dead_couplers`` / ``dead_cells``
+    (fraction or percentage), ``fail_first`` (count), ``fail_rate`` /
+    ``drop_rate`` / ``break_chains`` / ``read_corruption`` (fraction or
+    percentage), ``seed`` (int).  Explicit dead-qubit/coupler/cell
+    *lists* are API-only
     (:class:`FaultSpec(dead_qubits=...) <FaultSpec>`).
 
     Args:
@@ -268,16 +286,39 @@ class FaultInjector:
         self.logical_reads_corrupted = 0
 
     # -- yield model ----------------------------------------------------
-    def degrade(self, graph: "nx.Graph") -> "nx.Graph":
+    def degrade(self, graph: "nx.Graph", topology=None) -> "nx.Graph":
         """Apply the yield model: a damaged *copy* of ``graph``.
 
         A copy (never in-place mutation) so that graph fingerprints
         memoized for the pristine graph stay valid and embedding caches
         keyed on the degraded graph never alias the healthy one.
+
+        Args:
+            graph: the working graph to damage.
+            topology: the machine's
+                :class:`~repro.hardware.topology.Topology`; required
+                when the spec kills whole native cells, because which
+                qubits form a cell is a per-family question.
         """
         spec = self.spec
         out = graph.copy()
         rng = random.Random(spec.seed)
+        if spec.dead_cell_fraction or spec.dead_cells:
+            if topology is None:
+                raise ValueError(
+                    "dead-cell faults need the machine topology to know "
+                    "which qubits form a cell"
+                )
+            tiles = topology.tiles()
+            doomed = [tuple(cell) for cell in spec.dead_cells]
+            if spec.dead_cell_fraction:
+                keys = sorted(tiles)
+                count = int(round(spec.dead_cell_fraction * len(keys)))
+                doomed.extend(rng.sample(keys, count))
+            for key in doomed:
+                out.remove_nodes_from(
+                    [q for q in tiles.get(key, ()) if q in out]
+                )
         if spec.dead_qubit_fraction:
             nodes = sorted(out.nodes())
             count = int(round(spec.dead_qubit_fraction * len(nodes)))

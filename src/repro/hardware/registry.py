@@ -1,0 +1,118 @@
+"""Backend registry: name -> :class:`~repro.hardware.topology.Topology`.
+
+The single place the rest of the codebase turns a topology *name* into
+a topology *object*.  Layers outside ``repro/hardware/`` never import
+:mod:`repro.hardware.chimera` directly (a guard test enforces it); they
+call :func:`make_topology`, which keeps the hardware family pluggable:
+
+    >>> topo = make_topology("pegasus", size=6)
+    >>> topo.num_qubits
+    680
+
+Registering a new family takes one call::
+
+    register_topology("mytopo", MyTopology, default_size=8)
+
+where the factory accepts ``(size, tile)`` keyword arguments (``tile``
+may be ignored by families with a fixed cell shape, as Pegasus does).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.hardware.topology import (
+    ChimeraTopology,
+    PegasusTopology,
+    Topology,
+    ZephyrTopology,
+)
+
+__all__ = [
+    "available_topologies",
+    "make_topology",
+    "register_topology",
+]
+
+#: name -> (factory(size, tile) -> Topology, default size).
+_REGISTRY: Dict[str, Tuple[Callable[..., Topology], int]] = {}
+
+
+def register_topology(
+    name: str,
+    factory: Callable[..., Topology],
+    default_size: int,
+    overwrite: bool = False,
+) -> None:
+    """Register a topology family under ``name``.
+
+    Args:
+        name: registry key (what ``--topology`` accepts).
+        factory: callable accepting ``size`` and ``tile`` keyword
+            arguments and returning a :class:`Topology`.
+        default_size: the size used when the caller passes none (the
+            "full chip" of the family).
+        overwrite: allow replacing an existing registration.
+
+    Raises:
+        ValueError: on duplicate names without ``overwrite``.
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ValueError("topology name must be non-empty")
+    if key in _REGISTRY and not overwrite:
+        raise ValueError(f"topology {key!r} is already registered")
+    _REGISTRY[key] = (factory, default_size)
+
+
+def available_topologies() -> Tuple[str, ...]:
+    """The registered family names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_topology(
+    name: str,
+    size: Optional[int] = None,
+    tile: Optional[int] = None,
+) -> Topology:
+    """Instantiate a registered topology.
+
+    Args:
+        name: a registered family name (case-insensitive).
+        size: the family size parameter (Chimera/Pegasus ``m``, Zephyr
+            ``m``); None picks the family's full-chip default.
+        tile: cell tile parameter for families that have one (Chimera
+            and Zephyr ``t``); None picks the family default.
+
+    Raises:
+        KeyError: for unknown names, listing what is available.
+    """
+    key = str(name).strip().lower()
+    try:
+        factory, default_size = _REGISTRY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown topology {name!r}; available: "
+            f"{', '.join(available_topologies())}"
+        ) from None
+    return factory(size=default_size if size is None else size, tile=tile)
+
+
+def _chimera(size: int, tile: Optional[int] = None) -> ChimeraTopology:
+    return ChimeraTopology(size, t=4 if tile is None else tile)
+
+
+def _pegasus(size: int, tile: Optional[int] = None) -> PegasusTopology:
+    # Pegasus cells are fixed 12-line blocks; `tile` is accepted for
+    # factory-signature uniformity but has no free parameter.
+    return PegasusTopology(size)
+
+
+def _zephyr(size: int, tile: Optional[int] = None) -> ZephyrTopology:
+    return ZephyrTopology(size, t=4 if tile is None else tile)
+
+
+#: Full-chip defaults: C16 (2000Q), P16 (Advantage), Z15 (Advantage2).
+register_topology("chimera", _chimera, default_size=16)
+register_topology("pegasus", _pegasus, default_size=16)
+register_topology("zephyr", _zephyr, default_size=15)

@@ -1,9 +1,13 @@
-"""Text rendering of Chimera graphs and minor embeddings.
+"""Text rendering of annealer topologies and minor embeddings.
 
 Terminal-friendly views of what the place-and-route step did: which
-unit cells an embedding occupies, how long each chain is, and a
-Figure-1-style close-up of a single unit cell.  Useful when debugging
-embeddings or explaining the §6.1 qubit-count numbers.
+native cells (topology tiles) an embedding occupies, how long each
+chain is, and a Figure-1-style close-up of a single Chimera unit cell.
+Useful when debugging embeddings or explaining the §6.1 qubit-count
+numbers.  The occupancy map works for any registered topology via its
+:meth:`~repro.hardware.topology.Topology.tile_of` scheme; passing
+``rows``/``columns``/``tile`` keeps the historical Chimera-only
+signature working.
 """
 
 from __future__ import annotations
@@ -14,35 +18,42 @@ import networkx as nx
 
 from repro.hardware.chimera import ChimeraCoordinates
 from repro.hardware.embedding import Embedding
+from repro.hardware.topology import ChimeraTopology, Topology
 
 
 def render_occupancy(
     embedding: Embedding,
-    rows: int,
+    rows: Optional[int] = None,
     columns: Optional[int] = None,
     tile: int = 4,
+    topology: Optional[Topology] = None,
 ) -> str:
-    """A rows x columns map of unit cells: qubits used out of 8.
+    """A tile-grid map of native cells: qubits used per cell.
 
     Each cell prints its used-qubit count (``.`` for empty), giving an
     at-a-glance picture of how the embedding spreads over the chip.
+    Pass either a :class:`Topology` or the historical Chimera shape
+    (``rows``/``columns``/``tile``).
     """
-    if columns is None:
-        columns = rows
-    coords = ChimeraCoordinates(rows, columns, tile)
+    if topology is None:
+        if rows is None:
+            raise ValueError("render_occupancy needs a topology or rows")
+        topology = ChimeraTopology(rows, columns, tile)
+    grid_rows, grid_cols = topology.tile_shape
+    cell_size = max(len(members) for members in topology.tiles().values())
     used_per_cell: Dict[tuple, int] = {}
     for chain in embedding.chains.values():
         for qubit in chain:
-            row, col, _, _ = coords.coordinate(qubit)
-            used_per_cell[(row, col)] = used_per_cell.get((row, col), 0) + 1
+            key = topology.tile_of(qubit)
+            used_per_cell[key] = used_per_cell.get(key, 0) + 1
 
     lines = [
-        "unit-cell occupancy (qubits used of "
-        f"{2 * tile} per cell; '.' = empty)"
+        f"{topology.family} cell occupancy (qubits used of up to "
+        f"{cell_size} per cell; '.' = empty)"
     ]
-    for row in range(rows):
+    for row in range(grid_rows):
         cells = []
-        for col in range(columns):
+        for col in range(grid_cols):
             used = used_per_cell.get((row, col), 0)
             cells.append(f"{used}" if used else ".")
         lines.append(" ".join(f"{c:>2}" for c in cells))
@@ -119,11 +130,15 @@ def render_unit_cell(
 
 
 def embedding_report(
-    embedding: Embedding, rows: int, columns: Optional[int] = None, tile: int = 4
+    embedding: Embedding,
+    rows: Optional[int] = None,
+    columns: Optional[int] = None,
+    tile: int = 4,
+    topology: Optional[Topology] = None,
 ) -> str:
     """Occupancy map plus chain table in one report string."""
     return (
-        render_occupancy(embedding, rows, columns, tile)
+        render_occupancy(embedding, rows, columns, tile, topology=topology)
         + "\n\n"
         + render_chains(embedding)
     )

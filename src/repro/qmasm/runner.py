@@ -343,13 +343,15 @@ class FindEmbeddingStage(Stage):
         )
         cache = self._runner.embedding_cache
         # The key covers the *working* graph fingerprint, so degraded
-        # machines never reuse embeddings found for healthier units.
+        # machines never reuse embeddings found for healthier units,
+        # plus the topology fingerprint, so families never alias.
         key = EmbeddingCache.key_for(
             source_graph,
             machine.working_graph,
             seed=seed,
             tries=options.embedding_tries,
             max_attempts=policy.embedding_max_attempts,
+            topology=machine.topology.fingerprint(),
         )
         embedding = cache.get(key)
         if embedding is not None:
@@ -1034,6 +1036,8 @@ class QmasmRunner:
             in-memory :class:`EmbeddingCache`.  Pass one with
             ``enabled=False`` to always re-embed.
         trace: optional per-stage trace-event callback.
+        machines: simulated fleet size for the ``"shard"`` solver (how
+            many chips sharded subproblems are dispatched across).
     """
 
     def __init__(
@@ -1042,10 +1046,12 @@ class QmasmRunner:
         seed: Optional[int] = None,
         embedding_cache: Optional[EmbeddingCache] = None,
         trace: Optional[TraceCallback] = None,
+        machines: int = 4,
     ):
         self.machine = machine
         self.seed = seed
         self.trace = trace
+        self.machines = machines
         self.embedding_cache = (
             embedding_cache if embedding_cache is not None else EmbeddingCache()
         )
@@ -1162,6 +1168,18 @@ class QmasmRunner:
             return QBSolv(seed=seed, max_workers=max_workers).sample(
                 model, num_reads=min(num_reads, 10)
             )
+        if solver == "shard":
+            from repro.solvers.shard import ShardSolver
+
+            machine = self._get_machine()
+            return ShardSolver(
+                properties=machine.properties,
+                machines=self.machines,
+                seed=seed,
+                max_workers=max_workers,
+            ).sample(
+                model, num_reads=min(num_reads, 5), deadline=deadline
+            )
         raise ValueError(f"unknown solver {solver!r}")
 
     def _polish_rows(
@@ -1254,15 +1272,18 @@ class QmasmRunner:
                 ``"sa"`` (simulated annealing on the logical problem),
                 ``"sqa"`` (path-integral simulated *quantum* annealing,
                 the Hitachi-style classical annealer of Section 2),
-                ``"exact"`` (exhaustive), ``"tabu"``, or ``"qbsolv"``.
+                ``"exact"`` (exhaustive), ``"tabu"``, ``"qbsolv"``, or
+                ``"shard"`` (decompose across the runner's simulated
+                fleet of ``machines`` chips -- the path for programs too
+                large for any single working graph).
             num_reads: anneals / reads to perform.
             num_sweeps: Metropolis sweeps per read for the classical
                 solvers (``sa``/``sqa``; ``tabu`` treats it as its
                 iteration budget); None keeps each solver's default.
                 The dwave tier derives sweeps from ``annealing_time_us``.
             max_workers: process-pool size for parallel spin-reversal
-                gauge batches (dwave) and qbsolv reads; results are
-                bit-identical to serial runs.
+                gauge batches (dwave), qbsolv reads, and shard dispatch;
+                results are bit-identical to serial runs.
             annealing_time_us: per-anneal time for the dwave solver.
             chain_strength / pin_strength: see
                 :meth:`LogicalProgram.to_ising`.

@@ -24,13 +24,9 @@ import numpy as np
 
 from repro.core.faults import FaultInjector, FaultSpec
 from repro.core.trace import observe_sample as _observe_sample
-from repro.hardware.chimera import (
-    DWAVE_2000Q_CELLS,
-    chimera_graph,
-    coupler_dropout,
-    dropout,
-)
+from repro.hardware.registry import make_topology
 from repro.hardware.scaling import H_RANGE, J_RANGE, check_ranges
+from repro.hardware.topology import coupler_dropout, dropout
 from repro.ising.model import IsingModel
 from repro.solvers.neal import SimulatedAnnealingSampler
 from repro.solvers.sampleset import SampleSet
@@ -64,9 +60,18 @@ def _anneal_batch(job, deadline=None) -> Tuple[List, np.ndarray, str, bool]:
 
 @dataclass
 class MachineProperties:
-    """Parameters of the simulated 2000Q (Section 2 of the paper)."""
+    """Parameters of the simulated machine (Section 2 of the paper).
 
-    cells: int = DWAVE_2000Q_CELLS
+    ``topology`` names a family in :mod:`repro.hardware.registry`
+    (``"chimera"``, ``"pegasus"``, ``"zephyr"``); ``cells`` is that
+    family's size parameter (Chimera/Pegasus/Zephyr ``m`` -- a C16 is
+    the paper's 2000Q), defaulting to the family's flagship chip
+    (C16/P16/Z15), and ``tile`` its cell tile where the family has one
+    (Chimera/Zephyr ``t``; ignored by Pegasus).
+    """
+
+    topology: str = "chimera"
+    cells: Optional[int] = None
     tile: int = 4
     #: Fraction of qubits lost to fabrication drop-out.
     dropout_fraction: float = 0.02
@@ -104,7 +109,9 @@ class DWaveSimulator:
     every coefficient within range.  Violations raise, exactly as SAPI
     rejects such problems.
 
-    The *working graph* is the yield model: the pristine Chimera minus
+    The *working graph* is the yield model: the pristine topology graph
+    (``properties.topology``, resolved through
+    :mod:`repro.hardware.registry` -- Chimera by default) minus
     seeded-random qubit/coupler drop-out, minus any explicitly listed
     dead qubits and couplers, minus whatever an attached
     :class:`~repro.core.faults.FaultInjector` kills.  A ``faults``
@@ -122,7 +129,10 @@ class DWaveSimulator:
     ):
         self.properties = properties or MachineProperties()
         props = self.properties
-        graph = chimera_graph(props.cells, t=props.tile)
+        self.topology = make_topology(
+            props.topology, size=props.cells, tile=props.tile
+        )
+        graph = self.topology.graph.copy()
         graph = dropout(
             graph, fraction=props.dropout_fraction, seed=props.dropout_seed
         )
@@ -144,7 +154,7 @@ class DWaveSimulator:
             FaultInjector(faults) if isinstance(faults, FaultSpec) else faults
         )
         if self.faults is not None and self.faults.spec.has_yield_faults:
-            graph = self.faults.degrade(graph)
+            graph = self.faults.degrade(graph, topology=self.topology)
         self.working_graph: nx.Graph = graph
         self._rng = np.random.default_rng(seed)
 
@@ -293,6 +303,7 @@ class DWaveSimulator:
         )
         sampleset.info = {
             "solver": "dwave-2000q-simulator",
+            "topology": self.topology.fingerprint(),
             "timing": {
                 "qpu_programming_time_us": props.programming_time_us,
                 "qpu_anneal_time_per_sample_us": annealing_time_us,

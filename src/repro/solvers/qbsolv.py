@@ -31,6 +31,42 @@ from repro.solvers.tabu import TabuSampler
 Variable = Hashable
 
 
+def clamped_subproblem(
+    model: IsingModel,
+    assignment: Dict[Variable, int],
+    region: List[Variable],
+) -> IsingModel:
+    """Fix every variable outside ``region`` at its incumbent spin.
+
+    Boundary couplings fold into the linear biases of the region's
+    variables and fully-external terms fold into the offset, so the
+    subproblem's energy of any region assignment equals the full
+    model's energy of (region assignment + clamped incumbent).  The
+    interaction *structure* of the subproblem depends only on the
+    region, never on the incumbent -- which is what lets decomposers
+    (:class:`QBSolv`, :class:`~repro.solvers.shard.ShardSolver`) reuse
+    one minor embedding per region across every round.
+    """
+    region_set = set(region)
+    sub = IsingModel(offset=model.offset)
+    for v in region:
+        sub.add_variable(v, model.linear.get(v, 0.0))
+    for (u, v), coupling in model.quadratic.items():
+        u_in, v_in = u in region_set, v in region_set
+        if u_in and v_in:
+            sub.add_interaction(u, v, coupling)
+        elif u_in:
+            sub.add_variable(u, coupling * assignment[v])
+        elif v_in:
+            sub.add_variable(v, coupling * assignment[u])
+        else:
+            sub.offset += coupling * assignment[u] * assignment[v]
+    for v, bias in model.linear.items():
+        if v not in region_set:
+            sub.offset += bias * assignment[v]
+    return sub
+
+
 def _solve_read(job) -> Dict:
     """One full decomposed solve on a private solver (process-pool safe).
 
@@ -242,21 +278,4 @@ class QBSolv:
         region: List[Variable],
     ) -> IsingModel:
         """Fix every variable outside ``region`` at its incumbent spin."""
-        region_set = set(region)
-        sub = IsingModel(offset=model.offset)
-        for v in region:
-            sub.add_variable(v, model.linear.get(v, 0.0))
-        for (u, v), coupling in model.quadratic.items():
-            u_in, v_in = u in region_set, v in region_set
-            if u_in and v_in:
-                sub.add_interaction(u, v, coupling)
-            elif u_in:
-                sub.add_variable(u, coupling * assignment[v])
-            elif v_in:
-                sub.add_variable(v, coupling * assignment[u])
-            else:
-                sub.offset += coupling * assignment[u] * assignment[v]
-        for v, bias in model.linear.items():
-            if v not in region_set:
-                sub.offset += bias * assignment[v]
-        return sub
+        return clamped_subproblem(model, assignment, region)

@@ -1,0 +1,437 @@
+"""Sharded decomposition across a fleet of simulated annealer machines.
+
+The C16 ceiling: one 2000Q embeds at most a few hundred logical
+variables (the paper's Section 6.1 circuits use ~3.7 physical qubits
+per logical variable), so any netlist past that simply does not fit.
+Bian et al. (2018) show the way out -- partition the logical problem
+into hardware-sized subproblems and iterate -- and a serving fleet has
+many chips to throw at the pieces.  This module combines both ideas:
+
+1. **Partition** the logical Ising model into connected, chip-sized
+   regions (a deterministic BFS sweep over the interaction graph).
+2. **Embed** each region once, against the fleet's working graph.
+   Clamping never changes a region's interaction structure
+   (:func:`~repro.solvers.qbsolv.clamped_subproblem`), so one embedding
+   per region serves every round.
+3. **Dispatch** each round's clamped subproblems across ``machines``
+   simulated chips in a process pool.  Every stochastic input -- the
+   per-shard machine-noise/anneal seeds, drawn from the parent RNG
+   serially before dispatch -- is baked into the job tuple, so pooled
+   results are bit-identical to a serial run, exactly like the gauge
+   batches in :mod:`repro.solvers.machine`.
+4. **Stitch** accepted shard results onto the incumbent in fixed region
+   order (full-model energy re-check per shard) and iterate until no
+   round improves, then **polish** the incumbent with the steepest-
+   descent kernel.
+
+Regions that fail to minor-embed (a degraded working graph can make a
+chip-sized region unembeddable) fall back to the tabu kernel on the
+clamped subproblem inside the worker -- the fleet degrades, it does
+not fail.
+
+Observability: the solve runs inside a ``shard.solve`` span with one
+``shard.round`` event per round; each shard's wall time lands on
+``machine.<i>.sample`` (``i`` = fleet machine index) plus
+``shard.*`` counters on the ambient metrics registry.  A
+:class:`~repro.core.deadline.Deadline` propagates into every worker as
+a picklable :class:`~repro.core.deadline.Budget` re-armed on the
+worker's own clock.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import trace as _trace
+from repro.core.cache import options_fingerprint
+from repro.core.deadline import Deadline
+from repro.core.trace import observe_sample as _observe_sample
+from repro.hardware.embedding import (
+    Embedding,
+    EmbeddingError,
+    embed_ising,
+    find_embedding,
+    source_graph_of,
+    unembed_sampleset,
+)
+from repro.hardware.scaling import scale_to_hardware
+from repro.ising.model import IsingModel
+from repro.solvers.greedy import SteepestDescentSolver
+from repro.solvers.machine import DWaveSimulator, MachineProperties
+from repro.solvers.qbsolv import clamped_subproblem
+from repro.solvers.sampleset import SampleSet
+from repro.solvers.tabu import TabuSampler
+
+Variable = Hashable
+
+#: Worker-process machine cache: identical properties -> identical
+#: working graph, built once per worker instead of once per job.  The
+#: cached machine's RNG is re-seeded per job, so reuse cannot leak
+#: state between jobs and results stay independent of scheduling.
+_MACHINES: Dict[str, DWaveSimulator] = {}
+
+
+def _fleet_machine(properties: MachineProperties) -> DWaveSimulator:
+    key = options_fingerprint(properties)
+    machine = _MACHINES.get(key)
+    if machine is None:
+        machine = DWaveSimulator(properties=properties, seed=0)
+        _MACHINES[key] = machine
+    return machine
+
+
+def _solve_shard(job) -> Tuple[Dict, float, float, int, bool]:
+    """Solve one clamped shard on one simulated machine (pool-safe).
+
+    Module-level so it pickles.  The job tuple carries every stochastic
+    input (the shard seed re-arms the machine RNG) plus a picklable
+    remaining-seconds budget, so the result is a pure function of the
+    job -- independent of which worker runs it, or in what order.
+
+    Returns ``(assignment, energy, elapsed_s, reads, interrupted)``.
+    """
+    properties, embedding, sub_model, reads, anneal_us, seed, budget = job
+    deadline = budget.start() if budget is not None else None
+    start = time.perf_counter()
+    if embedding is None:
+        # Unembeddable region (degraded graph): tabu on the clamped
+        # subproblem keeps the shard solvable.
+        logical = TabuSampler(seed=seed).sample(
+            sub_model, num_reads=1, deadline=deadline
+        )
+    else:
+        machine = _fleet_machine(properties)
+        machine._rng = np.random.default_rng(seed)
+        physical = embed_ising(
+            sub_model, embedding, machine.working_graph
+        )
+        scaled, _ = scale_to_hardware(physical)
+        raw = machine.sample_ising(
+            scaled,
+            num_reads=reads,
+            annealing_time_us=anneal_us,
+            deadline=deadline,
+        )
+        logical = unembed_sampleset(raw, embedding, sub_model)
+        logical = SteepestDescentSolver(seed=seed).polish(logical, sub_model)
+    elapsed = time.perf_counter() - start
+    best = logical.first
+    interrupted = bool(logical.info.get("deadline_interrupted", False))
+    return dict(best.assignment), float(best.energy), elapsed, reads, interrupted
+
+
+class ShardSolver:
+    """Decompose a too-large model across N simulated machines.
+
+    Args:
+        properties: the fleet's (homogeneous) chip properties; every
+            simulated machine in the fleet is built from this template.
+        machines: fleet size -- the number of simulated chips shard
+            jobs are dispatched across, and the default process-pool
+            width.  Purely an execution/attribution concern: results
+            are bit-identical for any fleet size or worker count.
+        shard_size: maximum logical variables per region; defaults to a
+            conservative quarter of the chip's working qubits (chains
+            cost ~4x physical per logical on Chimera-class graphs,
+            Section 6.1).
+        num_reads_per_shard: anneal reads per shard job.
+        annealing_time_us: per-anneal time inside each shard job.
+        max_rounds: hard cap on stitch rounds per solve.
+        patience: stop after this many rounds without improvement.
+        seed: drives the incumbent start and every shard seed.
+        embedding_seed: seed for the per-region minor embedder.
+        max_workers: default pool width (None -> ``machines``); 1
+            forces serial execution, which is bit-identical.
+    """
+
+    def __init__(
+        self,
+        properties: Optional[MachineProperties] = None,
+        machines: int = 4,
+        shard_size: Optional[int] = None,
+        num_reads_per_shard: int = 25,
+        annealing_time_us: float = 20.0,
+        max_rounds: int = 32,
+        patience: int = 3,
+        seed: Optional[int] = None,
+        embedding_seed: int = 0,
+        max_workers: Optional[int] = None,
+    ):
+        if machines < 1:
+            raise ValueError("machines must be >= 1")
+        self.properties = properties or MachineProperties()
+        self.machines = machines
+        template = _fleet_machine(self.properties)
+        self.chip_qubits = template.num_qubits
+        self.shard_size = (
+            shard_size if shard_size is not None
+            else max(4, self.chip_qubits // 4)
+        )
+        if self.shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+        self.num_reads_per_shard = num_reads_per_shard
+        self.annealing_time_us = annealing_time_us
+        self.max_rounds = max_rounds
+        self.patience = patience
+        self.embedding_seed = embedding_seed
+        self.max_workers = max_workers
+        self._rng = np.random.default_rng(seed)
+        # Structure-keyed embedding cache: one embedding per region
+        # serves every round and every read.
+        self._embedding_cache: Dict[Tuple, Optional[Embedding]] = {}
+
+    # ------------------------------------------------------------------
+    def sample(
+        self,
+        model: IsingModel,
+        num_reads: int = 1,
+        max_workers: Optional[int] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> SampleSet:
+        """Minimize ``model`` by sharded dispatch across the fleet.
+
+        Args:
+            model: the logical Ising model (any size).
+            num_reads: independent decomposed solves, each contributing
+                one stitched-and-polished row.
+            max_workers: pool width for this call (None -> constructor
+                default -> ``machines``); 1 is serial.  Seeds are drawn
+                pre-dispatch, so samples are bit-identical either way.
+            deadline: optional wall-clock budget, propagated into every
+                shard job as a re-armed :class:`Budget`.
+        """
+        order = list(model.variables)
+        if not order:
+            return SampleSet.empty([])
+        if num_reads < 1:
+            raise ValueError("num_reads must be positive")
+        workers = max_workers if max_workers is not None else self.max_workers
+        if workers is None:
+            workers = self.machines
+        # Two staggered partitions: rounds alternate between them, so a
+        # domain wall pinned at one partition's shard boundary lands in
+        # the *interior* of the other's and can be annealed out.
+        partitions = [
+            self._partition(model, order, offset=0),
+            self._partition(model, order, offset=max(1, self.shard_size // 2)),
+        ]
+        start = time.perf_counter()
+        with _trace.span(
+            "shard.solve",
+            variables=len(order),
+            shards=len(partitions[0]),
+            machines=self.machines,
+            shard_size=self.shard_size,
+            chip_qubits=self.chip_qubits,
+        ):
+            embedded = [
+                [(region, self._embedding_for(model, region)) for region in regions]
+                for regions in partitions
+            ]
+            rows = []
+            rounds_used = []
+            interrupted = False
+            for _ in range(num_reads):
+                assignment, rounds, read_interrupted = self._solve_one(
+                    model, order, embedded, workers, deadline
+                )
+                rows.append([assignment[v] for v in order])
+                rounds_used.append(rounds)
+                interrupted = interrupted or read_interrupted
+                if deadline is not None and deadline.expired():
+                    interrupted = True
+                    break
+        elapsed = time.perf_counter() - start
+        records = np.array(rows, dtype=np.int8)
+        info = {
+            "solver": "shard",
+            "machines": self.machines,
+            "shards": len(partitions[0]),
+            "shard_size": self.shard_size,
+            "chip_qubits": self.chip_qubits,
+            "topology": self.properties.topology,
+            "num_reads": len(rows),
+            "rounds": rounds_used,
+            "max_workers": workers,
+            "unembeddable_shards": sum(
+                1 for _, e in embedded[0] if e is None
+            ),
+        }
+        if interrupted:
+            info["deadline_interrupted"] = True
+        result = SampleSet.from_array(order, records, model, info=info)
+        _observe_sample(
+            "shard", result, elapsed,
+            machines=self.machines, shards=len(partitions[0]),
+            variables=len(order), num_reads=len(rows),
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    def _solve_one(
+        self,
+        model: IsingModel,
+        order: List[Variable],
+        embedded: List[List[Tuple[List[Variable], Optional[Embedding]]]],
+        workers: int,
+        deadline: Optional[Deadline],
+    ) -> Tuple[Dict[Variable, int], int, bool]:
+        """One decomposed solve: rounds of dispatch + stitch + polish."""
+        rng = self._rng
+        incumbent: Dict[Variable, int] = {
+            v: int(rng.choice([-1, 1])) for v in order
+        }
+        energy = model.energy(incumbent)
+        metrics = _trace.metrics()
+        stall = 0
+        rounds = 0
+        interrupted = False
+        while stall < self.patience and rounds < self.max_rounds:
+            if deadline is not None and deadline.expired():
+                interrupted = True
+                break
+            rounds += 1
+            metrics.counter("shard.rounds").inc()
+            shards = embedded[(rounds - 1) % len(embedded)]
+            # Every shard seed is drawn here, serially, before any job
+            # runs -- the pool cannot change the answer.
+            jobs = []
+            for region, embedding in shards:
+                sub = clamped_subproblem(model, incumbent, region)
+                seed = int(rng.integers(0, 2**63))
+                budget = deadline.budget() if deadline is not None else None
+                jobs.append((
+                    self.properties, embedding, sub,
+                    self.num_reads_per_shard, self.annealing_time_us,
+                    seed, budget,
+                ))
+            pool_width = min(workers, self.machines, len(jobs))
+            if pool_width > 1 and len(jobs) > 1:
+                with ProcessPoolExecutor(max_workers=pool_width) as pool:
+                    results = list(pool.map(_solve_shard, jobs))
+            else:
+                results = [_solve_shard(job) for job in jobs]
+
+            improved = False
+            for index, (assignment, _sub_energy, elapsed, reads,
+                        shard_interrupted) in enumerate(results):
+                machine_index = index % self.machines
+                _trace.record(
+                    f"machine.{machine_index}.sample",
+                    duration_s=elapsed,
+                    shard=index,
+                    reads=reads,
+                )
+                metrics.counter(f"machine.{machine_index}.samples").inc()
+                metrics.counter("shard.jobs").inc()
+                interrupted = interrupted or shard_interrupted
+                # Stitch: accept a shard against the *full* model energy
+                # of the current incumbent (earlier shards this round
+                # already moved it).  Plateau moves are accepted too --
+                # they let domain walls drift across shard boundaries
+                # until a later round annihilates them -- but only a
+                # strict improvement resets the stall counter.
+                candidate = dict(incumbent)
+                candidate.update(assignment)
+                candidate_energy = model.energy(candidate)
+                if candidate_energy < energy - 1e-12:
+                    incumbent, energy = candidate, candidate_energy
+                    improved = True
+                    metrics.counter("shard.improvements").inc()
+                elif candidate_energy <= energy + 1e-12:
+                    incumbent, energy = candidate, candidate_energy
+            _trace.event(
+                "shard.round", round=rounds, energy=energy, improved=improved
+            )
+            stall = 0 if improved else stall + 1
+
+        # Polish the stitched incumbent with the greedy descent kernel;
+        # shard boundaries can leave single-flip defects no shard sees.
+        polish_seed = int(rng.integers(0, 2**63))
+        initial = np.array([[incumbent[v] for v in order]], dtype=float)
+        polished = SteepestDescentSolver(seed=polish_seed).sample(
+            model, initial_states=initial, deadline=deadline
+        )
+        best = polished.first
+        return dict(best.assignment), rounds, interrupted
+
+    def _partition(
+        self, model: IsingModel, order: List[Variable], offset: int = 0
+    ) -> List[List[Variable]]:
+        """Deterministic BFS partition into connected chip-sized regions.
+
+        Connected chunks embed with short chains and keep semantically
+        related gate variables on the same chip; determinism (no RNG,
+        lowest-index seeds, sorted adjacency) keeps the whole solve a
+        pure function of (model, seed).  A non-zero ``offset`` caps the
+        *first* region at ``offset`` variables, shifting every later
+        region boundary -- the staggered partition the round loop
+        alternates with so walls never pin at a fixed seam.
+        """
+        adjacency: Dict[Variable, List[Variable]] = {v: [] for v in order}
+        for (u, v), coupling in model.quadratic.items():
+            if coupling != 0.0:
+                adjacency[u].append(v)
+                adjacency[v].append(u)
+        position = {v: i for i, v in enumerate(order)}
+        for v in adjacency:
+            adjacency[v].sort(key=position.__getitem__)
+        assigned = set()
+        regions: List[List[Variable]] = []
+        for start in order:
+            if start in assigned:
+                continue
+            cap = offset if offset and not regions else self.shard_size
+            region = []
+            queue = [start]
+            queued = {start}
+            while queue and len(region) < cap:
+                v = queue.pop(0)
+                if v in assigned:
+                    continue
+                region.append(v)
+                assigned.add(v)
+                for u in adjacency[v]:
+                    if u not in assigned and u not in queued:
+                        queued.add(u)
+                        queue.append(u)
+            regions.append(region)
+        return regions
+
+    def _embedding_for(
+        self, model: IsingModel, region: List[Variable]
+    ) -> Optional[Embedding]:
+        """One cached minor embedding per region structure (or None).
+
+        None marks a region the embedder gave up on; its shards run on
+        the tabu fallback inside the workers.
+        """
+        region_set = set(region)
+        key = (
+            tuple(sorted(map(str, region))),
+            tuple(sorted(
+                (str(u), str(v))
+                for (u, v), coupling in model.quadratic.items()
+                if coupling != 0.0 and u in region_set and v in region_set
+            )),
+        )
+        if key not in self._embedding_cache:
+            template = _fleet_machine(self.properties)
+            sub = clamped_subproblem(
+                model, {v: 1 for v in model.variables}, region
+            )
+            try:
+                self._embedding_cache[key] = find_embedding(
+                    source_graph_of(sub),
+                    template.working_graph,
+                    seed=self.embedding_seed,
+                )
+            except EmbeddingError:
+                _trace.event("shard.unembeddable", variables=len(region))
+                _trace.metrics().counter("shard.unembeddable_regions").inc()
+                self._embedding_cache[key] = None
+        return self._embedding_cache[key]

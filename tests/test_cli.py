@@ -175,3 +175,44 @@ def test_deadline_exceeded_exits_4(verilog_file, capsys):
     err = capsys.readouterr().err
     assert "deadline" in err and "stage" in err
     assert "Traceback" not in err
+
+
+# ----------------------------------------------------------------------
+# Topologies and sharded decomposition
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("topology,size", [("pegasus", 2), ("zephyr", 1)])
+def test_non_chimera_topology_end_to_end(verilog_file, capsys, topology, size):
+    """Embed + anneal + certify on a non-Chimera family via --topology."""
+    code = main(
+        [
+            verilog_file, "--run", "--solver", "dwave", "--seed", "0",
+            "--topology", topology, "--topology-size", str(size),
+            "--num-reads", "100", "--repair",
+            "--pin", "s := 1", "--pin", "a := 1", "--pin", "b := 1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Solution #1" in out
+    assert "certificate:" in out
+
+
+def test_unknown_topology_rejected(verilog_file, capsys):
+    with pytest.raises(SystemExit):
+        main([verilog_file, "--run", "--topology", "kagome"])
+
+
+def test_shard_solver_end_to_end(verilog_file, capsys):
+    """--solver shard decomposes across the --machines fleet, certified."""
+    code = main(
+        [
+            verilog_file, "--run", "--solver", "shard", "--machines", "4",
+            "--topology-size", "2", "--seed", "0", "--num-reads", "2",
+            "--repair",
+            "--pin", "s := 1", "--pin", "a := 1", "--pin", "b := 1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Solution #1" in out
+    assert "certificate:" in out

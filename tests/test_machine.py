@@ -111,7 +111,8 @@ def test_dropout_shrinks_working_graph():
 
 def test_default_machine_is_a_2000q():
     machine = DWaveSimulator(seed=0)
-    assert machine.properties.cells == 16
+    assert machine.topology.family == "chimera"
+    assert machine.topology.fingerprint() == "chimera:m=16,n=16,t=4"
     # nominal 2048 minus drop-out
     assert 1900 <= machine.num_qubits < 2048
 

@@ -47,6 +47,12 @@ def test_qbsolv_solver(runner):
     assert result.best.valid
 
 
+def test_shard_solver(runner):
+    result = runner.run(AND_PROGRAM, solver="shard", num_reads=2)
+    assert result.best.valid
+    assert result.sampleset.info["machines"] == runner.machines
+
+
 def test_dwave_solver_embeds_and_runs(runner):
     result = runner.run(AND_PROGRAM, solver="dwave", num_reads=40)
     assert result.embedding is not None
