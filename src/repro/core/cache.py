@@ -263,6 +263,31 @@ class CompilationCache(ArtifactCache):
         )
 
 
+class CheckpointCache(ArtifactCache):
+    """Persists shard-solver run state through the crash-safe disk tier.
+
+    The sharded decomposer (:mod:`repro.solvers.shard`) writes one
+    entry per run -- completed reads, the in-progress read's incumbent,
+    the parent RNG state, and the fleet's health/breaker state -- after
+    every stitch round.  Because :meth:`ArtifactCache._disk_put` is
+    write-temp + fsync + atomic rename, a run killed mid-write always
+    leaves either the previous round's checkpoint or the new one, never
+    a torn file; a ``--resume`` therefore continues from the last
+    *completed* iteration, bit-identical to the run that died.
+
+    Keyed by a run fingerprint covering the model, the full solver
+    configuration (fleet shape, fault spec, seeds), and the requested
+    reads, so a resume can never pick up state from a different
+    problem, a differently-damaged fleet, or a different seed.
+    """
+
+    metric_name = "checkpoint"
+
+    @staticmethod
+    def key_for(run_fingerprint: str) -> str:
+        return stable_hash("checkpoint:" + run_fingerprint)
+
+
 class EmbeddingCache(ArtifactCache):
     """Caches :class:`~repro.hardware.embedding.Embedding` objects.
 

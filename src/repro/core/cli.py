@@ -111,7 +111,8 @@ def build_parser() -> argparse.ArgumentParser:
         default="dwave",
         help=(
             "execution backend (default: simulated D-Wave 2000Q); "
-            "'shard' decomposes across a fleet of --machines chips"
+            "'shard' decomposes across a fleet of --machines chips "
+            "(or a heterogeneous --fleet)"
         ),
     )
     from repro.hardware.registry import available_topologies
@@ -137,6 +138,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         metavar="N",
         help="simulated fleet size for --solver shard (default: 4)",
+    )
+    parser.add_argument(
+        "--fleet",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "heterogeneous fleet for --solver shard: comma-separated "
+            "FAMILY[SIZE] tokens, e.g. 'C16,P8,Z6' (families by name, "
+            "prefix, or letter code); overrides --machines"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "persist shard-solver state into DIR after every stitch "
+            "round (crash-safe; enables --resume)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume an interrupted --solver shard run from its "
+            "--checkpoint-dir checkpoint (bit-identical continuation)"
+        ),
     )
     parser.add_argument(
         "--num-reads",
@@ -206,7 +234,10 @@ def build_parser() -> argparse.ArgumentParser:
             "damage the simulated machine deterministically, e.g. "
             "'dead_qubits=5%%,fail_first=2,seed=7' (keys: dead_qubits, "
             "dead_couplers, fail_first, fail_rate, drop_rate, "
-            "break_chains, read_corruption, seed; repeatable)"
+            "break_chains, read_corruption, seed; repeatable); "
+            "machine_crash/machine_straggler/machine_flaky clauses "
+            "(e.g. 'machine_crash=1:3,machine_flaky=0:30%%') drive the "
+            "--solver shard fleet's chaos plan"
         ),
     )
     parser.add_argument(
@@ -312,11 +343,30 @@ def _run_command(args: argparse.Namespace) -> int:
             properties=props, seed=args.seed, faults=spec
         )
 
+    if args.fleet is not None:
+        from repro.solvers.fleet import parse_fleet_spec
+
+        try:
+            parse_fleet_spec(args.fleet)
+        except ValueError as exc:
+            print(f"error: --fleet: {exc}", file=sys.stderr)
+            return 1
+    if args.resume and args.checkpoint_dir is None:
+        print(
+            "error: --resume needs --checkpoint-dir (the directory the "
+            "interrupted run checkpointed into)",
+            file=sys.stderr,
+        )
+        return 1
+
     compiler = VerilogAnnealerCompiler(
         machine=machine,
         seed=args.seed,
         cache=not args.no_cache,
         machines=args.machines,
+        fleet=args.fleet,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
     )
     options = CompileOptions(top=args.top, unroll_steps=args.steps)
     try:

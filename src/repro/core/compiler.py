@@ -322,6 +322,11 @@ class VerilogAnnealerCompiler:
         trace: optional callback receiving per-stage begin/end trace
             events from both compilation and execution pipelines.
         machines: simulated fleet size for the ``"shard"`` solver.
+        fleet: heterogeneous fleet spec for the ``"shard"`` solver
+            (``"C16,P8,Z6"``); overrides ``machines``.
+        checkpoint_dir: directory the shard solver checkpoints into
+            after every stitch round (``--resume`` continues from it).
+        resume: resume shard solves from a matching checkpoint.
     """
 
     def __init__(
@@ -332,6 +337,9 @@ class VerilogAnnealerCompiler:
         cache_dir: Optional[str] = None,
         trace: Optional[TraceCallback] = None,
         machines: int = 4,
+        fleet: Optional[str] = None,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
     ):
         self.seed = seed
         self.trace = trace
@@ -351,6 +359,9 @@ class VerilogAnnealerCompiler:
             ),
             trace=trace,
             machines=machines,
+            fleet=fleet,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
         )
         #: The lowering pipeline; callers may reorder/extend/replace.
         self.compile_stages: List[Stage] = default_compile_stages()

@@ -54,14 +54,35 @@ class TransientSolverError(RuntimeError):
     retryable; anything else a backend raises is considered permanent.
 
     Attributes:
-        kind: ``"injected"``, ``"sample_failure"``, or
-            ``"programming_drop"`` -- what flavor of transient fault
-            this was.
+        kind: ``"injected"``, ``"sample_failure"``,
+            ``"programming_drop"``, or ``"machine_flaky"`` -- what
+            flavor of transient fault this was.
     """
 
     def __init__(self, message: str, kind: str = "sample_failure"):
         super().__init__(message)
         self.kind = kind
+
+
+class MachineCrashError(RuntimeError):
+    """A whole fleet machine died and will not come back this run.
+
+    Unlike :class:`TransientSolverError`, a crash is *permanent*: the
+    fleet layer (:mod:`repro.solvers.fleet`) quarantines the machine for
+    the rest of the run and re-dispatches its orphaned shards to healthy
+    machines.  Zick et al. (arxiv 1503.06453) document exactly this
+    failure mode on real annealer installations -- per-device outages
+    that take a unit out of the fleet mid-campaign.
+
+    Attributes:
+        machine: fleet index of the machine that crashed.
+        dispatch: 1-based dispatch attempt at which the crash fired.
+    """
+
+    def __init__(self, message: str, machine: int, dispatch: int = 0):
+        super().__init__(message)
+        self.machine = machine
+        self.dispatch = dispatch
 
 
 @dataclass(frozen=True)
@@ -102,6 +123,19 @@ class FaultSpec:
             flipped while the reported energy is left stale -- the
             low-energy-but-wrong reads that only end-to-end
             certification (:mod:`repro.qmasm.certify`) can catch.
+        machine_crashes: fleet-level fault: ``(machine_index, dispatch)``
+            pairs -- the machine's ``dispatch``-th shard dispatch (and
+            every later one) raises :class:`MachineCrashError`, modeling
+            a unit that dies mid-run and stays dead.
+        machine_stragglers: fleet-level fault: ``(machine_index,
+            factor)`` pairs -- the machine's modeled QPU latency is
+            multiplied by ``factor``, so fleet health tracking sees a
+            unit running far slower than its peers.
+        machine_flaky: fleet-level fault: ``(machine_index, rate)``
+            pairs -- each dispatch to the machine fails with a
+            :class:`TransientSolverError` (kind ``"machine_flaky"``)
+            with probability ``rate``, drawn deterministically from
+            ``seed``.
         seed: drives every pseudo-random choice above.
     """
 
@@ -116,6 +150,9 @@ class FaultSpec:
     programming_drop_rate: float = 0.0
     chain_break_rate: float = 0.0
     read_corruption_rate: float = 0.0
+    machine_crashes: Tuple[Tuple[int, int], ...] = ()
+    machine_stragglers: Tuple[Tuple[int, float], ...] = ()
+    machine_flaky: Tuple[Tuple[int, float], ...] = ()
     seed: int = 0
 
     def __post_init__(self):
@@ -145,6 +182,39 @@ class FaultSpec:
             "dead_cells",
             tuple(tuple(cell) for cell in self.dead_cells),
         )
+        crashes = []
+        for machine, dispatch in self.machine_crashes:
+            machine, dispatch = int(machine), int(dispatch)
+            if machine < 0:
+                raise ValueError("machine_crashes indices must be >= 0")
+            if dispatch < 1:
+                raise ValueError(
+                    "machine_crashes dispatch numbers are 1-based (>= 1)"
+                )
+            crashes.append((machine, dispatch))
+        object.__setattr__(self, "machine_crashes", tuple(crashes))
+        stragglers = []
+        for machine, factor in self.machine_stragglers:
+            machine, factor = int(machine), float(factor)
+            if machine < 0:
+                raise ValueError("machine_stragglers indices must be >= 0")
+            if factor < 1.0:
+                raise ValueError(
+                    f"machine_stragglers factor must be >= 1, got {factor!r}"
+                )
+            stragglers.append((machine, factor))
+        object.__setattr__(self, "machine_stragglers", tuple(stragglers))
+        flaky = []
+        for machine, rate in self.machine_flaky:
+            machine, rate = int(machine), float(rate)
+            if machine < 0:
+                raise ValueError("machine_flaky indices must be >= 0")
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"machine_flaky rate must be in [0, 1], got {rate!r}"
+                )
+            flaky.append((machine, rate))
+        object.__setattr__(self, "machine_flaky", tuple(flaky))
 
     @property
     def has_yield_faults(self) -> bool:
@@ -168,6 +238,15 @@ class FaultSpec:
             or self.read_corruption_rate
         )
 
+    @property
+    def has_machine_faults(self) -> bool:
+        """True when the spec injects fleet-level machine faults."""
+        return bool(
+            self.machine_crashes
+            or self.machine_stragglers
+            or self.machine_flaky
+        )
+
 
 #: CLI spec keys -> (FaultSpec field, value parser).  Shared between
 #: ``parse_fault_spec`` and its error messages.
@@ -180,9 +259,20 @@ _SPEC_KEYS = {
     "drop_rate": "programming_drop_rate",
     "break_chains": "chain_break_rate",
     "read_corruption": "read_corruption_rate",
+    "machine_crash": "machine_crashes",
+    "machine_straggler": "machine_stragglers",
+    "machine_flaky": "machine_flaky",
     "seed": "seed",
 }
 _INT_FIELDS = {"fail_first_samples", "seed"}
+#: Fleet-level machine-fault fields and their default per-machine
+#: parameter: crash on the 2nd dispatch (serve one shard, then die),
+#: run 4x slower, fail one dispatch in four.
+_MACHINE_FIELDS = {
+    "machine_crashes": 2.0,
+    "machine_stragglers": 4.0,
+    "machine_flaky": 0.25,
+}
 
 
 def _parse_fraction(key: str, text: str) -> float:
@@ -196,18 +286,54 @@ def _parse_fraction(key: str, text: str) -> float:
         raise ValueError(f"bad value {text!r} for fault key {key!r}") from None
 
 
+def _parse_machine_clause(key: str, field: str, text: str) -> tuple:
+    """Parse a fleet-level machine-fault value.
+
+    Grammar: ``INDEX[:PARAM]`` entries joined by ``+`` (commas separate
+    whole clauses), e.g. ``machine_crash=1:3+2`` crashes machine 1 on
+    its 3rd dispatch and machine 2 on its 2nd (the default), and
+    ``machine_flaky=0:30%`` makes machine 0 fail 30% of dispatches.
+    """
+    entries = []
+    for part in text.split("+"):
+        part = part.strip()
+        if not part:
+            continue
+        index_text, sep, param_text = part.partition(":")
+        try:
+            index = int(index_text.strip())
+        except ValueError:
+            raise ValueError(
+                f"bad machine index {index_text.strip()!r} for fault key "
+                f"{key!r} (expected INDEX[:PARAM])"
+            ) from None
+        param = (
+            _parse_fraction(key, param_text) if sep else _MACHINE_FIELDS[field]
+        )
+        if field == "machine_crashes":
+            param = int(param)
+        entries.append((index, param))
+    if not entries:
+        raise ValueError(f"empty machine list for fault key {key!r}")
+    return tuple(entries)
+
+
 def parse_fault_spec(text: str, base: Optional[FaultSpec] = None) -> FaultSpec:
     """Parse a compact ``--inject-fault`` spec string.
 
     The grammar is ``key=value`` clauses separated by commas::
 
         dead_qubits=5%,fail_first=2,break_chains=0.3,seed=7
+        machine_crash=1,machine_straggler=2:8,machine_flaky=0:30%,seed=7
 
     Keys: ``dead_qubits`` / ``dead_couplers`` / ``dead_cells``
     (fraction or percentage), ``fail_first`` (count), ``fail_rate`` /
     ``drop_rate`` / ``break_chains`` / ``read_corruption`` (fraction or
-    percentage), ``seed`` (int).  Explicit dead-qubit/coupler/cell
-    *lists* are API-only
+    percentage), ``machine_crash`` / ``machine_straggler`` /
+    ``machine_flaky`` (fleet-level: ``INDEX[:PARAM]`` entries joined by
+    ``+``; the parameter is the 1-based crash dispatch, the slowdown
+    factor, or the per-dispatch failure rate respectively), ``seed``
+    (int).  Explicit dead-qubit/coupler/cell *lists* are API-only
     (:class:`FaultSpec(dead_qubits=...) <FaultSpec>`).
 
     Args:
@@ -243,6 +369,8 @@ def parse_fault_spec(text: str, base: Optional[FaultSpec] = None) -> FaultSpec:
                 raise ValueError(
                     f"bad value {value.strip()!r} for fault key {key!r}"
                 ) from None
+        elif field in _MACHINE_FIELDS:
+            overrides[field] = _parse_machine_clause(key, field, value)
         else:
             overrides[field] = _parse_fraction(key, value)
     if base is None:

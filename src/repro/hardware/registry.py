@@ -32,6 +32,7 @@ __all__ = [
     "available_topologies",
     "make_topology",
     "register_topology",
+    "resolve_family",
 ]
 
 #: name -> (factory(size, tile) -> Topology, default size).
@@ -68,6 +69,36 @@ def register_topology(
 def available_topologies() -> Tuple[str, ...]:
     """The registered family names, sorted."""
     return tuple(sorted(_REGISTRY))
+
+
+def resolve_family(name: str) -> str:
+    """Resolve a family name, unambiguous prefix, or letter code.
+
+    ``"chimera"``, ``"chim"``, and ``"C"`` all resolve to
+    ``"chimera"`` -- the lookup compact fleet specs like ``"C16,P8,Z6"``
+    (:func:`repro.solvers.fleet.parse_fleet_spec`) are built on.
+
+    Raises:
+        KeyError: for unknown names or ambiguous prefixes, listing what
+            is available.
+    """
+    key = str(name).strip().lower()
+    if not key:
+        raise KeyError("empty topology family name")
+    if key in _REGISTRY:
+        return key
+    matches = [family for family in sorted(_REGISTRY) if family.startswith(key)]
+    if len(matches) == 1:
+        return matches[0]
+    if matches:
+        raise KeyError(
+            f"ambiguous topology family {name!r}: matches "
+            f"{', '.join(matches)}"
+        )
+    raise KeyError(
+        f"unknown topology family {name!r}; available: "
+        f"{', '.join(available_topologies())}"
+    )
 
 
 def make_topology(

@@ -424,6 +424,8 @@ _RESILIENCE_COUNTERS = (
     "repair_resamples",
     "repair_reads_repaired",
     "repair_reads_dropped",
+    "shard_fallbacks",
+    "shard_redispatches",
 )
 
 
@@ -474,7 +476,32 @@ class SampleStage(Stage):
                 deadline=context.deadline,
             )
             context.scratch["answered_by"] = solver
+        self._lift_shard_stats(artifact, context)
         return artifact
+
+    @staticmethod
+    def _lift_shard_stats(
+        artifact: RunArtifact, context: PipelineContext
+    ) -> None:
+        """Surface shard-fleet resilience stats on the run metrics.
+
+        The shard solver counts tabu fallbacks and re-dispatches on the
+        ambient registry under ``shard.*``/``fleet.*``; lifting them
+        into the run-scoped ``runner.*`` namespace puts them in
+        ``info["resilience"]`` alongside the retry/repair counters, so
+        fleet dashboards see degraded shards per *run*.
+        """
+        if artifact.sampleset is None:
+            return
+        info = artifact.sampleset.info
+        fallbacks = int(info.get("shard_fallbacks", 0))
+        if fallbacks:
+            context.metrics.counter("runner.shard_fallbacks").inc(fallbacks)
+        redispatches = int(info.get("redispatches", 0))
+        if redispatches:
+            context.metrics.counter("runner.shard_redispatches").inc(
+                redispatches
+            )
 
     def _fall_back(self, artifact: RunArtifact, context: PipelineContext) -> None:
         """Degrade through the classical tiers after hardware gave up."""
@@ -1038,6 +1065,14 @@ class QmasmRunner:
         trace: optional per-stage trace-event callback.
         machines: simulated fleet size for the ``"shard"`` solver (how
             many chips sharded subproblems are dispatched across).
+        fleet: optional heterogeneous fleet spec for the ``"shard"``
+            solver (``"C16,P8,Z6"`` -- see
+            :func:`repro.solvers.fleet.parse_fleet_spec`); overrides
+            ``machines``.
+        checkpoint_dir: directory for shard-solver checkpoints (one
+            entry per run, persisted after every stitch round); ``None``
+            disables checkpointing.
+        resume: resume the shard solve from a matching checkpoint.
     """
 
     def __init__(
@@ -1047,11 +1082,17 @@ class QmasmRunner:
         embedding_cache: Optional[EmbeddingCache] = None,
         trace: Optional[TraceCallback] = None,
         machines: int = 4,
+        fleet: Optional[str] = None,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
     ):
         self.machine = machine
         self.seed = seed
         self.trace = trace
         self.machines = machines
+        self.fleet = fleet
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
         self.embedding_cache = (
             embedding_cache if embedding_cache is not None else EmbeddingCache()
         )
@@ -1172,11 +1213,20 @@ class QmasmRunner:
             from repro.solvers.shard import ShardSolver
 
             machine = self._get_machine()
+            # The machine-level clauses of the machine's fault spec
+            # (machine_crash / machine_straggler / machine_flaky) drive
+            # the shard fleet's chaos plan; single-machine clauses keep
+            # acting inside DWaveSimulator itself.
+            injector = getattr(machine, "faults", None)
             return ShardSolver(
                 properties=machine.properties,
                 machines=self.machines,
                 seed=seed,
                 max_workers=max_workers,
+                fleet=self.fleet,
+                faults=injector.spec if injector is not None else None,
+                checkpoint=self.checkpoint_dir,
+                resume=self.resume,
             ).sample(
                 model, num_reads=min(num_reads, 5), deadline=deadline
             )

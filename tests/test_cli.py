@@ -216,3 +216,57 @@ def test_shard_solver_end_to_end(verilog_file, capsys):
     out = capsys.readouterr().out
     assert "Solution #1" in out
     assert "certificate:" in out
+
+
+# ----------------------------------------------------------------------
+# Fleet resilience flags
+# ----------------------------------------------------------------------
+def test_heterogeneous_fleet_end_to_end(verilog_file, capsys):
+    """--fleet mixes machine classes; the shard solver still answers."""
+    code = main(
+        [
+            verilog_file, "--run", "--solver", "shard",
+            "--fleet", "C2,C2,P2,Z2", "--topology-size", "2",
+            "--seed", "7", "--num-reads", "2", "--repair",
+            "--pin", "s := 1", "--pin", "a := 1", "--pin", "b := 1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Solution #1" in out
+
+
+def test_bad_fleet_spec_reports_error(verilog_file, capsys):
+    code = main(
+        [verilog_file, "--run", "--solver", "shard", "--fleet", "Q9"]
+    )
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "error:" in err
+    assert "Traceback" not in err
+
+
+def test_resume_requires_checkpoint_dir(verilog_file, capsys):
+    code = main(
+        [verilog_file, "--run", "--solver", "shard", "--resume"]
+    )
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "--checkpoint-dir" in err
+
+
+def test_checkpoint_dir_round_trip(verilog_file, tmp_path, capsys):
+    """A completed checkpointed run resumes instantly and identically."""
+    argv = [
+        verilog_file, "--run", "--solver", "shard", "--machines", "4",
+        "--topology-size", "2", "--seed", "7", "--num-reads", "2",
+        "--repair", "--checkpoint-dir", str(tmp_path),
+        "--pin", "s := 1", "--pin", "a := 1", "--pin", "b := 1",
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert list(tmp_path.iterdir()), "checkpoint files should exist"
+    assert main(argv + ["--resume"]) == 0
+    second = capsys.readouterr().out
+    assert "Solution #1" in second
+    assert first.splitlines()[-3:] == second.splitlines()[-3:]

@@ -131,6 +131,68 @@ class TestFaultSpec:
 
 
 # ----------------------------------------------------------------------
+# Fleet-level machine faults: parsing, validation, fingerprinting
+# ----------------------------------------------------------------------
+class TestMachineFaultClauses:
+    def test_parse_machine_entries_with_params(self):
+        spec = parse_fault_spec(
+            "machine_crash=1:3+2,machine_straggler=2:8,machine_flaky=0:30%"
+        )
+        assert spec.machine_crashes == ((1, 3), (2, 2))
+        assert spec.machine_stragglers == ((2, 8.0),)
+        assert spec.machine_flaky == ((0, pytest.approx(0.30)),)
+
+    def test_parse_machine_defaults(self):
+        # Bare indices take the documented defaults: crash on the 2nd
+        # dispatch, run 4x slower, fail one dispatch in four.
+        spec = parse_fault_spec(
+            "machine_crash=1,machine_straggler=2,machine_flaky=3"
+        )
+        assert spec.machine_crashes == ((1, 2),)
+        assert spec.machine_stragglers == ((2, 4.0),)
+        assert spec.machine_flaky == ((3, 0.25),)
+
+    def test_parse_machine_clause_rejects_garbage(self):
+        with pytest.raises(ValueError, match="bad machine index"):
+            parse_fault_spec("machine_crash=one")
+        with pytest.raises(ValueError, match="empty machine list"):
+            parse_fault_spec("machine_crash=")
+        with pytest.raises(ValueError, match="bad value"):
+            parse_fault_spec("machine_flaky=0:lots")
+
+    def test_machine_fields_validate_ranges(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultSpec(machine_crashes=((0, 0),))
+        with pytest.raises(ValueError, match=">= 0"):
+            FaultSpec(machine_crashes=((-1, 2),))
+        with pytest.raises(ValueError, match="factor must be >= 1"):
+            FaultSpec(machine_stragglers=((0, 0.5),))
+        with pytest.raises(ValueError, match="rate must be in"):
+            FaultSpec(machine_flaky=((0, 1.5),))
+
+    def test_machine_fault_classification(self):
+        spec = FaultSpec(machine_crashes=((1, 2),))
+        assert spec.has_machine_faults
+        assert not spec.has_yield_faults
+        assert not spec.has_transient_faults
+        assert not FaultSpec().has_machine_faults
+
+    def test_fingerprint_covers_machine_fields(self):
+        # Regression: checkpoint/cache keys must change when any
+        # machine-level fault field changes, and the canonical string
+        # must name each field so future fields cannot be missed
+        # silently.
+        clean = spec_fingerprint(FaultSpec())
+        crash = spec_fingerprint(FaultSpec(machine_crashes=((1, 2),)))
+        straggle = spec_fingerprint(FaultSpec(machine_stragglers=((1, 8.0),)))
+        flaky = spec_fingerprint(FaultSpec(machine_flaky=((1, 0.25),)))
+        assert len({clean, crash, straggle, flaky}) == 4
+        for name in ("machine_crashes", "machine_stragglers", "machine_flaky"):
+            assert name in clean
+        assert "machine_crashes=((1, 2),)" in crash
+
+
+# ----------------------------------------------------------------------
 # Yield model: the working graph reflects the damage
 # ----------------------------------------------------------------------
 class TestYieldModel:

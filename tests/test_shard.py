@@ -48,6 +48,22 @@ def _solver(**overrides) -> ShardSolver:
     return ShardSolver(**kwargs)
 
 
+def _events(tracer, name):
+    """All instant events named ``name``, as attribute dicts.
+
+    Events fired inside an open span land on ``span.events``; with no
+    open span the tracer records them as zero-length root spans.
+    """
+    out = []
+    for span in tracer.walk():
+        if span.name == name:
+            out.append(span.attributes)
+        for entry in span.events:
+            if entry["name"] == name:
+                out.append(entry.get("attributes", {}))
+    return out
+
+
 # ----------------------------------------------------------------------
 # The acceptance criterion
 # ----------------------------------------------------------------------
@@ -144,6 +160,54 @@ def test_generous_deadline_changes_nothing():
     assert np.array_equal(free.records, timed.records)
 
 
+def test_deadline_mid_read_keeps_partial_results_without_rng_drift(monkeypatch):
+    """Expiry partway through a multi-read run: the completed reads
+    survive bit-identically (the deadline interrupts work, it must not
+    perturb the RNG stream), the in-flight read is returned as a
+    partial row, and the result is flagged.
+    """
+    model, _ = _planted_model(48)
+    free = _solver().sample(model, num_reads=3, max_workers=1)
+    assert len(free) == 3
+
+    # Count the shard jobs read 1 dispatches so a fake clock can expire
+    # the deadline during read 2's first round.
+    probe = _solver()
+    order = list(model.variables)
+    partitions = [
+        probe._partition(model, order, offset=0),
+        probe._partition(model, order, offset=max(1, probe.shard_size // 2)),
+    ]
+    read1_jobs = sum(
+        len(partitions[(r - 1) % len(partitions)])
+        for r in range(1, free.info["rounds"][0] + 1)
+    )
+
+    import repro.solvers.shard as shard_mod
+    clock = {"t": 0.0}
+    real = shard_mod._solve_shard
+    calls = {"n": 0}
+
+    def ticking(job):
+        calls["n"] += 1
+        if calls["n"] == read1_jobs + 1:
+            clock["t"] = 100.0
+        return real(job)
+
+    monkeypatch.setattr(shard_mod, "_solve_shard", ticking)
+    deadline = Deadline(10.0, clock=lambda: clock["t"])
+    timed = _solver().sample(
+        model, num_reads=3, max_workers=1, deadline=deadline
+    )
+
+    assert timed.info.get("deadline_interrupted") is True
+    assert timed.info["num_reads"] == len(timed.records) == 2
+    assert np.array_equal(timed.records[0], free.records[0])
+    assert timed.info["rounds"][0] == free.info["rounds"][0]
+    # The interrupted read stopped early: it ran at most one round.
+    assert timed.info["rounds"][1] <= free.info["rounds"][1]
+
+
 # ----------------------------------------------------------------------
 # Observability
 # ----------------------------------------------------------------------
@@ -165,3 +229,32 @@ def test_shard_spans_and_per_machine_metrics():
     assert metrics.value("shard.rounds") == sum(result.info["rounds"])
     assert metrics.value("shard.jobs") >= result.info["shards"]
     assert metrics.value("shard.improvements") >= 1
+
+
+def test_unembeddable_shard_falls_back_to_tabu_with_event():
+    """A region no machine class can embed (K12 on a C2 chip) runs on
+    the classical tabu fallback, emits ``shard.fallback`` with
+    ``reason="unembeddable"``, and still reaches the ground state.
+    """
+    n = 12
+    planted = [1 if i % 2 else -1 for i in range(n)]
+    model = IsingModel()
+    for i in range(n):
+        model.add_variable(i, -0.25 * planted[i])
+    for i in range(n):
+        for j in range(i + 1, n):
+            model.add_interaction(i, j, -float(planted[i] * planted[j]))
+    ground = model.energy({i: planted[i] for i in range(n)})
+
+    with trace.capture() as (tracer, metrics):
+        result = _solver(shard_size=12, num_reads_per_shard=5).sample(
+            model, num_reads=1, max_workers=1
+        )
+
+    assert result.info["unembeddable_shards"] == 1
+    assert result.info["shard_fallbacks"] >= 1
+    assert result.first.energy == pytest.approx(ground)
+    fallbacks = _events(tracer, "shard.fallback")
+    assert fallbacks
+    assert all(e["reason"] == "unembeddable" for e in fallbacks)
+    assert metrics.value("shard.fallbacks") == len(fallbacks)
