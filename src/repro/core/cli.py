@@ -196,6 +196,34 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--kernel",
+        choices=["dense", "sparse", "jit"],
+        default=None,
+        help=(
+            "force a Metropolis sweep-kernel tier (jit needs numba and "
+            "falls back to sparse with a warning); default auto-selects "
+            "per problem -- all tiers are bit-identical, only speed "
+            "differs"
+        ),
+    )
+    parser.add_argument(
+        "--batch-gauges",
+        action="store_true",
+        help=(
+            "pack the dwave solver's spin-reversal gauge batch into one "
+            "cross-problem kernel invocation (deterministic per seed, "
+            "but samples differ from the serial gauge schedule)"
+        ),
+    )
+    parser.add_argument(
+        "--batch-shards",
+        action="store_true",
+        help=(
+            "pack each --solver shard round's subproblems into one "
+            "cross-problem kernel invocation"
+        ),
+    )
+    parser.add_argument(
         "--anneal-time", type=float, default=20.0, help="anneal time in us"
     )
     parser.add_argument("--seed", type=int, help="RNG seed for reproducibility")
@@ -427,6 +455,9 @@ def _run_command(args: argparse.Namespace) -> int:
             num_reads=args.reads,
             num_sweeps=args.num_sweeps,
             max_workers=args.workers,
+            kernel=args.kernel,
+            batch_gauges=args.batch_gauges,
+            batch_shards=args.batch_shards,
             annealing_time_us=args.anneal_time,
             use_roof_duality=args.roof_duality,
             retry_policy=policy,

@@ -846,6 +846,11 @@ def observe_sample(
     rate = info.get("sweeps_per_s")
     if rate:
         registry.histogram("solver.sweeps_per_s").observe(float(rate))
+        # Per-tier sweep rate: the perf-trajectory gauge the kernel
+        # benchmarks and dashboards key on (kernel.jit.sweeps_per_s vs
+        # kernel.sparse.sweeps_per_s shows the JIT speedup live).
+        if kernel:
+            registry.gauge(f"kernel.{kernel}.sweeps_per_s").set(float(rate))
     if len(sampleset):
         registry.histogram("solver.energy").observe_many(
             [float(e) for e in sampleset.energies]

@@ -250,6 +250,15 @@ class RunOptions:
     #: reads; None/1 runs serially.  Results are bit-identical either
     #: way -- seeds are split deterministically from the parent RNG.
     max_workers: Optional[int] = None
+    #: Force a sweep-kernel tier (``"dense"``/``"sparse"``/``"jit"``)
+    #: in every sampling path; None auto-selects per problem.  Tiers
+    #: are bit-identical, so this is purely a performance knob.
+    kernel: Optional[str] = None
+    #: Pack the dwave tier's spin-reversal gauge batches into one
+    #: cross-problem kernel invocation (see repro.solvers.batch).
+    batch_gauges: bool = False
+    #: Pack each shard round's subproblems into one kernel invocation.
+    batch_shards: bool = False
     annealing_time_us: float = 20.0
     chain_strength: Optional[float] = None
     pin_strength: Optional[float] = None
@@ -473,6 +482,8 @@ class SampleStage(Stage):
                 num_reads,
                 num_sweeps=options.num_sweeps,
                 max_workers=options.max_workers,
+                kernel=options.kernel,
+                batch_shards=options.batch_shards,
                 deadline=context.deadline,
             )
             context.scratch["answered_by"] = solver
@@ -519,6 +530,8 @@ class SampleStage(Stage):
                     options.num_reads,
                     num_sweeps=options.num_sweeps,
                     max_workers=options.max_workers,
+                    kernel=options.kernel,
+                    batch_shards=options.batch_shards,
                     deadline=context.deadline,
                 )
             except Exception as exc:  # a broken tier just deepens the fall
@@ -999,6 +1012,8 @@ class RepairStage(Stage):
                 num_reads,
                 num_sweeps=options.num_sweeps,
                 max_workers=options.max_workers,
+                kernel=options.kernel,
+                batch_shards=options.batch_shards,
                 seed_offset=round_index,
                 deadline=context.deadline,
             )
@@ -1155,7 +1170,9 @@ class QmasmRunner:
                     num_spin_reversal_transforms=(
                         1 if attempt > 0 and policy.gauge_on_retry else 0
                     ),
+                    kernel=options.kernel,
                     max_workers=options.max_workers,
+                    batch_gauges=options.batch_gauges,
                     deadline=context.deadline,
                 )
             except TransientSolverError as exc:
@@ -1174,6 +1191,8 @@ class QmasmRunner:
         num_reads: int,
         num_sweeps: Optional[int] = None,
         max_workers: Optional[int] = None,
+        kernel: Optional[str] = None,
+        batch_shards: bool = False,
         seed_offset: int = 0,
         deadline: Optional[Deadline] = None,
     ) -> SampleSet:
@@ -1189,21 +1208,24 @@ class QmasmRunner:
         if solver == "sa":
             kwargs = {} if num_sweeps is None else {"num_sweeps": num_sweeps}
             return SimulatedAnnealingSampler(seed=seed).sample(
-                model, num_reads=num_reads, deadline=deadline, **kwargs
+                model, num_reads=num_reads, kernel=kernel,
+                deadline=deadline, **kwargs
             )
         if solver == "sqa":
             from repro.solvers.sqa import PathIntegralAnnealer
 
             kwargs = {} if num_sweeps is None else {"num_sweeps": num_sweeps}
             return PathIntegralAnnealer(seed=seed).sample(
-                model, num_reads=min(num_reads, 32), deadline=deadline, **kwargs
+                model, num_reads=min(num_reads, 32), kernel=kernel,
+                deadline=deadline, **kwargs
             )
         if solver == "exact":
             return ExactSolver().sample(model, num_lowest=num_reads)
         if solver == "tabu":
             kwargs = {} if num_sweeps is None else {"max_iter": num_sweeps}
             return TabuSampler(seed=seed).sample(
-                model, num_reads=num_reads, deadline=deadline, **kwargs
+                model, num_reads=num_reads, kernel=kernel,
+                deadline=deadline, **kwargs
             )
         if solver == "qbsolv":
             return QBSolv(seed=seed, max_workers=max_workers).sample(
@@ -1227,6 +1249,8 @@ class QmasmRunner:
                 faults=injector.spec if injector is not None else None,
                 checkpoint=self.checkpoint_dir,
                 resume=self.resume,
+                kernel=kernel,
+                batch_rounds=batch_shards,
             ).sample(
                 model, num_reads=min(num_reads, 5), deadline=deadline
             )
@@ -1259,7 +1283,9 @@ class QmasmRunner:
         _, h_vec, indptr, indices, data = model.to_csr()
         from repro.solvers import kernels
 
-        chosen = kernels.choose_kernel(len(order), len(indices), None)
+        chosen = kernels.choose_kernel(
+            len(order), len(indices), None, num_reads=len(row_index)
+        )
         fields = kernels.init_local_fields(h_vec, indptr, indices, data, spins)
         flip = kernels.make_mixed_flip_updater(chosen, indptr, indices, data)
         for _ in range(max_sweeps):
@@ -1297,6 +1323,9 @@ class QmasmRunner:
         num_reads: int = 100,
         num_sweeps: Optional[int] = None,
         max_workers: Optional[int] = None,
+        kernel: Optional[str] = None,
+        batch_gauges: bool = False,
+        batch_shards: bool = False,
         annealing_time_us: float = 20.0,
         chain_strength: Optional[float] = None,
         pin_strength: Optional[float] = None,
@@ -1334,6 +1363,18 @@ class QmasmRunner:
             max_workers: process-pool size for parallel spin-reversal
                 gauge batches (dwave), qbsolv reads, and shard dispatch;
                 results are bit-identical to serial runs.
+            kernel: force a Metropolis sweep-kernel tier --
+                ``"dense"``, ``"sparse"``, or ``"jit"`` (numba; falls
+                back to sparse with a warning when numba is absent);
+                None auto-selects per problem.  All tiers produce
+                bit-identical samples, so this only affects speed.
+            batch_gauges: pack the dwave tier's spin-reversal gauge
+                batch into one cross-problem kernel invocation instead
+                of annealing gauges one-by-one (or via a process pool).
+                Deterministic under a fixed seed, but the shared RNG
+                stream means samples differ from the serial schedule.
+            batch_shards: likewise pack each shard round's embedded
+                subproblems into one kernel invocation.
             annealing_time_us: per-anneal time for the dwave solver.
             chain_strength / pin_strength: see
                 :meth:`LogicalProgram.to_ising`.
@@ -1387,6 +1428,9 @@ class QmasmRunner:
             num_reads=num_reads,
             num_sweeps=num_sweeps,
             max_workers=max_workers,
+            kernel=kernel,
+            batch_gauges=batch_gauges,
+            batch_shards=batch_shards,
             annealing_time_us=annealing_time_us,
             chain_strength=chain_strength,
             pin_strength=pin_strength,

@@ -1,0 +1,123 @@
+"""Numba-compiled sweep kernels: the ``jit`` tier of repro.solvers.kernels.
+
+This module imports numba at import time and is therefore only ever
+imported lazily, through ``kernels._load_jit()``.  Everything here is a
+scalar-loop twin of a numpy expression in :mod:`repro.solvers.kernels`
+or :mod:`repro.solvers.batch`, kept bit-identical by construction:
+
+* all accept thresholds (log-uniforms) and sweep permutations are drawn
+  and transformed by *numpy in the caller*, in the exact per-sweep order
+  the numpy tier consumes them -- the compiled loops contain no RNG and
+  no transcendentals, only compares, negations, and multiply-subtracts
+  that mirror the numpy element ops in the same order;
+* the incremental field update computes ``(2.0 * old) * data[p]`` with
+  the same association as the numpy broadcast
+  ``(2.0 * old)[:, None] * data[None, :]``.
+
+``@njit(cache=True)`` persists the compiled machine code next to this
+file, so the first-call compilation cost (~1 s) is paid once per
+environment, not once per process.
+"""
+
+from __future__ import annotations
+
+from numba import njit  # noqa: F401  (hard dependency of this module only)
+
+
+@njit(cache=True)
+def flip_rows(spins, fields, i, rows, indptr, indices, data):
+    """Flip ``spins[rows, i]`` and update neighbor fields (CSR).
+
+    Twin of the sparse tier's per-column flip updater.
+    """
+    for k in range(rows.shape[0]):
+        r = rows[k]
+        old = spins[r, i]
+        spins[r, i] = -old
+        two_old = 2.0 * old
+        for p in range(indptr[i], indptr[i + 1]):
+            fields[r, indices[p]] -= two_old * data[p]
+
+
+@njit(cache=True)
+def flip_mixed(spins, fields, rows, cols, indptr, indices, data):
+    """Flip ``spins[rows[k], cols[k]]`` for each k (steepest-descent).
+
+    Twin of the sparse tier's mixed flip updater.
+    """
+    for k in range(rows.shape[0]):
+        r = rows[k]
+        i = cols[k]
+        old = spins[r, i]
+        spins[r, i] = -old
+        two_old = 2.0 * old
+        for p in range(indptr[i], indptr[i + 1]):
+            fields[r, indices[p]] -= two_old * data[p]
+
+
+@njit(cache=True)
+def metropolis_chunk(spins, fields, indptr, indices, data, perms, log_u, betas):
+    """Run a chunk of Metropolis sweeps fused into one compiled loop.
+
+    ``perms[c]`` is sweep c's proposal order, ``log_u[c, k, r]`` the
+    pre-drawn accept threshold for proposal k of sweep c in read r, and
+    ``betas[c]`` the sweep temperature.  Accept rule is the log-domain
+    test shared with the numpy tiers: ``log(u) < min(2 beta s f, 0)``.
+    Returns the number of accepted flips.
+    """
+    chunk = perms.shape[0]
+    n = perms.shape[1]
+    num_reads = spins.shape[0]
+    accepted = 0
+    for c in range(chunk):
+        two_beta = 2.0 * betas[c]
+        for k in range(n):
+            i = perms[c, k]
+            for r in range(num_reads):
+                x = two_beta * spins[r, i] * fields[r, i]
+                threshold = x if x < 0.0 else 0.0
+                if log_u[c, k, r] < threshold:
+                    old = spins[r, i]
+                    spins[r, i] = -old
+                    two_old = 2.0 * old
+                    for p in range(indptr[i], indptr[i + 1]):
+                        fields[r, indices[p]] -= two_old * data[p]
+                    accepted += 1
+    return accepted
+
+
+@njit(cache=True)
+def batched_metropolis_chunk(
+    spins, fields, bindptr, bindices, bdata, prob_of_row, perms, log_u, betas
+):
+    """Fused sweep chunk over a *stacked* multi-problem batch.
+
+    The stacked layout (see :class:`repro.solvers.batch.BatchedSweepJob`)
+    concatenates every problem's reads along the row axis and pads all
+    problems to a shared column count; ``bindices[p, bindptr[i]:
+    bindptr[i+1]]``/``bdata[p, ...]`` hold problem p's (padded) neighbor
+    slot for column i, with padding entries pointing at column i itself
+    with coupling 0.0 (an exact no-op).  ``betas[c, p]`` is problem p's
+    temperature in sweep c and ``prob_of_row[r]`` maps each read row to
+    its problem.  Returns the number of accepted flips.
+    """
+    chunk = perms.shape[0]
+    n = perms.shape[1]
+    num_rows = spins.shape[0]
+    accepted = 0
+    for c in range(chunk):
+        for k in range(n):
+            i = perms[c, k]
+            for r in range(num_rows):
+                prob = prob_of_row[r]
+                two_beta = 2.0 * betas[c, prob]
+                x = two_beta * spins[r, i] * fields[r, i]
+                threshold = x if x < 0.0 else 0.0
+                if log_u[c, k, r] < threshold:
+                    old = spins[r, i]
+                    spins[r, i] = -old
+                    two_old = 2.0 * old
+                    for p in range(bindptr[i], bindptr[i + 1]):
+                        fields[r, bindices[prob, p]] -= two_old * bdata[prob, p]
+                    accepted += 1
+    return accepted

@@ -47,8 +47,9 @@ class SteepestDescentSolver:
                 starts); otherwise inferred from the given states.
             initial_states: optional (reads, n) spin matrix to polish.
             max_sweeps: safety bound on descent sweeps.
-            kernel: ``"dense"``/``"sparse"`` to force a field-update
-                backend; None picks by model size and density.
+            kernel: ``"dense"``/``"sparse"``/``"jit"`` to force a
+                field-update tier; None picks by model size, density,
+                and the number of rows descending together.
             deadline: optional :class:`~repro.core.deadline.Deadline`;
                 checked once per descent sweep.  Expiry stops the
                 descent cleanly mid-way (states may not yet be local
@@ -59,7 +60,6 @@ class SteepestDescentSolver:
         if n == 0:
             return SampleSet.empty([])
         _, h_vec, indptr, indices, data = model.to_csr()
-        chosen = kernels.choose_kernel(n, len(indices), kernel)
 
         if initial_states is not None:
             spins = np.array(initial_states, dtype=float)
@@ -67,6 +67,9 @@ class SteepestDescentSolver:
                 raise ValueError(f"initial_states must be (reads, {n})")
         else:
             spins = self._rng.choice([-1.0, 1.0], size=(num_reads, n))
+        chosen = kernels.choose_kernel(
+            n, len(indices), kernel, num_reads=len(spins)
+        )
 
         start = time.perf_counter()
         fields = kernels.init_local_fields(h_vec, indptr, indices, data, spins)

@@ -9,24 +9,44 @@ neighbors are few -- Chimera C16 qubits have degree <= 6, so >99% of a
 dense 2048 x 2048 J matrix is zeros -- which makes the dense
 ``O(num_reads * n)``-per-flip update the dominant cost.
 
-This module centralizes the sweep primitives with two interchangeable
-backends:
+This module centralizes the sweep primitives with three interchangeable
+tiers:
 
 * ``dense`` -- updates against a dense row of the J matrix (fast for
   small or high-density models, where BLAS beats indexing overhead);
 * ``sparse`` -- updates only the CSR neighbor list of the flipped spin
-  (``IsingModel.to_csr()``), turning a flip into ``O(num_reads * deg)``.
+  (``IsingModel.to_csr()``), turning a flip into ``O(num_reads * deg)``;
+* ``jit`` -- a numba-compiled fused sweep loop over the same CSR
+  adjacency (``repro.solvers._kernels_jit``), removing the per-proposal
+  Python/numpy dispatch that dominates the sparse tier.  Optional: when
+  numba is not importable (or ``REPRO_NO_NUMBA`` is set) the tier
+  silently degrades to ``sparse`` after a single RuntimeWarning.
 
-Both backends are **bit-identical**: they share the same initial-field
-computation, the same Metropolis accept logic, and the same RNG
-consumption pattern, and the dense update only ever adds exact zeros
-where the sparse update touches nothing.  ``choose_kernel`` picks the
-backend automatically from the model's size and density; every sampler
-accepts ``kernel="dense"``/``"sparse"`` to force one.
+All tiers are **bit-identical**: they share the same initial-field
+computation, the same accept rule, and the same RNG consumption
+pattern.  The dense update only ever adds exact zeros where the sparse
+update touches nothing, and the JIT loop is written so that every
+floating-point operation matches the numpy expression element for
+element.  To make that possible the Metropolis accept runs in the *log
+domain*: instead of ``u < exp(min(2 beta s_i f_i, 0))`` we test
+``log(u) < min(2 beta s_i f_i, 0)``, with the log taken by numpy on the
+whole uniform block *outside* the compiled loop.  The compiled code
+then contains no transcendental calls at all, so there is no numpy-SIMD
+vs libm ULP mismatch to worry about -- identity holds by construction,
+not by luck.  (The two accept rules are mathematically equivalent;
+``u = 0`` maps to ``log(u) = -inf`` which is still always accepted.)
+
+``choose_kernel`` picks the tier automatically from the model's size,
+density, and read-batch width; every sampler accepts
+``kernel="dense"``/``"sparse"``/``"jit"`` to force one, and
+``available_kernels()`` reports which tiers can actually run in this
+interpreter.
 """
 
 from __future__ import annotations
 
+import os
+import warnings
 from typing import Callable, Optional
 
 import numpy as np
@@ -34,39 +54,136 @@ import numpy as np
 #: Kernel names.
 DENSE = "dense"
 SPARSE = "sparse"
-KERNELS = (DENSE, SPARSE)
+JIT = "jit"
+KERNELS = (DENSE, SPARSE, JIT)
 
 #: Below this variable count the dense kernel always wins: the whole J
 #: matrix fits in cache and BLAS/vector ops beat per-row indexing.
 SPARSE_MIN_VARIABLES = 64
 #: Above this nnz/n^2 density the dense kernel wins even for large n.
 SPARSE_MAX_DENSITY = 0.25
+#: At or below this many reads the sparse tier's fancy-indexing overhead
+#: (np.ix_ gather/scatter per flip) is not amortized by vector width: a
+#: 1..4-row flip via np.ix_ costs several times a contiguous dense-row
+#: update.  Re-tuned with the num_reads-aware crossover (2026-08): tabu
+#: (read width 1) and single-state polish calls land here.
+DENSE_MAX_BATCH_READS = 4
+#: ... but only while the dense J matrix stays cheap to materialize and
+#: walk: above ~2048 variables (a 2048 x 2048 float64 J is 32 MB) the
+#: O(n) dense row update loses to O(deg) regardless of read width.
+DENSE_BATCH_CROSSOVER_VARIABLES = 2048
 
 #: A flip updater: ``flip(spins, fields, i, rows)`` negates column ``i``
 #: of ``spins`` at ``rows`` and updates ``fields`` incrementally.
 FlipUpdater = Callable[[np.ndarray, np.ndarray, int, np.ndarray], None]
 
+# Lazy numba probe, shared by choose_kernel / available_kernels / the
+# dispatchers.  "checked" flips on first probe; "warned" makes the
+# jit-requested-but-unavailable fallback a single RuntimeWarning per
+# process rather than one per sample call.
+_JIT_STATE = {"module": None, "checked": False, "warned": False}
+
+
+def _load_jit():
+    """Import the numba tier once; None when numba is unavailable.
+
+    Honors ``REPRO_NO_NUMBA`` (any non-empty value) so CI can prove the
+    fallback path stays green on hosts that *do* have numba installed.
+    """
+    state = _JIT_STATE
+    if not state["checked"]:
+        state["checked"] = True
+        if not os.environ.get("REPRO_NO_NUMBA"):
+            try:
+                from repro.solvers import _kernels_jit
+
+                state["module"] = _kernels_jit
+            except ImportError:
+                state["module"] = None
+    return state["module"]
+
+
+def _warn_jit_fallback() -> None:
+    if not _JIT_STATE["warned"]:
+        _JIT_STATE["warned"] = True
+        warnings.warn(
+            "the 'jit' kernel requires numba (pip install 'repro[jit]'); "
+            "falling back to the 'sparse' kernel",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
+def jit_available() -> bool:
+    """True when the numba tier can run in this interpreter."""
+    return _load_jit() is not None
+
+
+def available_kernels() -> tuple:
+    """The kernel tiers that can actually run here, in speed order.
+
+    Always contains ``dense`` and ``sparse``; contains ``jit`` only when
+    numba imports cleanly and ``REPRO_NO_NUMBA`` is unset.
+    """
+    if jit_available():
+        return (DENSE, SPARSE, JIT)
+    return (DENSE, SPARSE)
+
 
 def choose_kernel(
-    num_variables: int, nnz: int, kernel: Optional[str] = None
+    num_variables: int,
+    nnz: int,
+    kernel: Optional[str] = None,
+    num_reads: Optional[int] = None,
 ) -> str:
-    """Pick a sweep backend: explicit request, or the density crossover.
+    """Pick a sweep tier: explicit request, or the tuned crossover.
+
+    The automatic crossover (re-tuned for the three-tier lineup):
+
+    1. tiny models (``n < SPARSE_MIN_VARIABLES``) or dense models
+       (``nnz/n^2 > SPARSE_MAX_DENSITY``) -> ``dense``;
+    2. otherwise ``jit`` when numba is available -- the fused loop beats
+       both numpy tiers at every size/width measured;
+    3. otherwise ``sparse``, *except* that narrow read batches
+       (``num_reads <= DENSE_MAX_BATCH_READS`` on models up to
+       ``DENSE_BATCH_CROSSOVER_VARIABLES`` variables) take ``dense``:
+       with 1-4 rows in flight the np.ix_ gather/scatter per flip costs
+       more than the contiguous dense row it avoids.
 
     Args:
         num_variables: model size n.
         nnz: stored CSR entries (2x the non-zero coupling count).
-        kernel: ``"dense"``/``"sparse"`` to force a backend, or None.
+        kernel: ``"dense"``/``"sparse"``/``"jit"`` to force a tier, or
+            None.  Requesting ``"jit"`` without numba warns once and
+            returns ``"sparse"`` (the result names the tier that will
+            actually run).
+        num_reads: read-batch width of the upcoming sweep calls, when
+            the caller knows it.  None preserves the width-agnostic
+            behavior.
     """
     if kernel is not None:
         if kernel not in KERNELS:
             raise ValueError(
                 f"unknown kernel {kernel!r}; expected one of {KERNELS}"
             )
+        if kernel == JIT and _load_jit() is None:
+            _warn_jit_fallback()
+            return SPARSE
         return kernel
     if num_variables < SPARSE_MIN_VARIABLES:
         return DENSE
     density = nnz / float(num_variables * num_variables)
-    return SPARSE if density <= SPARSE_MAX_DENSITY else DENSE
+    if density > SPARSE_MAX_DENSITY:
+        return DENSE
+    if _load_jit() is not None:
+        return JIT
+    if (
+        num_reads is not None
+        and num_reads <= DENSE_MAX_BATCH_READS
+        and num_variables <= DENSE_BATCH_CROSSOVER_VARIABLES
+    ):
+        return DENSE
+    return SPARSE
 
 
 def densify(
@@ -92,10 +209,9 @@ def init_local_fields(
 ) -> np.ndarray:
     """Batched local fields ``fields[r, i] = h_i + sum_j J_ij s_rj``.
 
-    Shared by both kernels (and by :func:`batched_energies`) so that the
-    dense and sparse sweep paths start from bit-identical state: the sum
-    over each variable's neighbors runs in ascending column order either
-    way.
+    Shared by all kernel tiers (and by :func:`batched_energies`) so the
+    sweep paths start from bit-identical state: the sum over each
+    variable's neighbors runs in ascending column order either way.
     """
     spins = np.asarray(spins, dtype=float)
     num_reads, n = spins.shape
@@ -129,6 +245,21 @@ def batched_energies(
     return linear + quad + offset
 
 
+def log_uniforms(
+    rng: np.random.Generator, shape, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Draw a uniform block and return its elementwise log.
+
+    This is THE accept-threshold draw shared by every tier: one uniform
+    per (proposal, read), logged in numpy so the compiled tier never
+    calls a transcendental.  ``u = 0`` maps to ``-inf`` (still a
+    guaranteed accept), so the divide-by-zero warning is suppressed.
+    """
+    uniforms = rng.random(shape)
+    with np.errstate(divide="ignore"):
+        return np.log(uniforms, out=out)
+
+
 def make_flip_updater(
     kernel: str,
     indptr: np.ndarray,
@@ -136,13 +267,14 @@ def make_flip_updater(
     data: np.ndarray,
     dense_j: Optional[np.ndarray] = None,
 ) -> FlipUpdater:
-    """Build the per-column flip updater for a backend.
+    """Build the per-column flip updater for a tier.
 
     The returned callable flips ``spins[rows, i]`` and applies the
     incremental field update ``f_j -= 2 J_ij s_i^old`` -- to every
-    column (dense) or only to ``i``'s CSR neighbors (sparse).  The two
-    are bit-identical because the dense row is zero off the neighbor
-    list and ``x - 0.0 == x`` exactly.
+    column (dense) or only to ``i``'s CSR neighbors (sparse/jit).  All
+    three are bit-identical because the dense row is zero off the
+    neighbor list (``x - 0.0 == x`` exactly) and the jit loop performs
+    the same per-element multiply in the same order.
     """
     if kernel == DENSE:
         if dense_j is None:
@@ -152,6 +284,19 @@ def make_flip_updater(
             old = spins[rows, i]
             spins[rows, i] = -old
             fields[rows, :] -= (2.0 * old)[:, None] * dense_j[i][None, :]
+
+        return flip
+    if kernel == JIT:
+        jit_mod = _load_jit()
+        if jit_mod is None:
+            _warn_jit_fallback()
+            return make_flip_updater(SPARSE, indptr, indices, data)
+
+        def flip(spins, fields, i, rows):
+            jit_mod.flip_rows(
+                spins, fields, int(i), np.ascontiguousarray(rows),
+                indptr, indices, data,
+            )
 
         return flip
     if kernel != SPARSE:
@@ -192,6 +337,20 @@ def make_mixed_flip_updater(
             fields[rows, :] -= (2.0 * old)[:, None] * dense_j[cols, :]
 
         return flip
+    if kernel == JIT:
+        jit_mod = _load_jit()
+        if jit_mod is None:
+            _warn_jit_fallback()
+            return make_mixed_flip_updater(SPARSE, indptr, indices, data)
+
+        def flip(spins, fields, rows, cols):
+            jit_mod.flip_mixed(
+                spins, fields,
+                np.ascontiguousarray(rows), np.ascontiguousarray(cols),
+                indptr, indices, data,
+            )
+
+        return flip
     if kernel != SPARSE:
         raise ValueError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
 
@@ -211,8 +370,17 @@ def make_mixed_flip_updater(
 
 #: How many sweeps run between deadline polls: the sweep-batch
 #: granularity of cooperative cancellation.  A deadline-bounded anneal
-#: can overshoot its budget by at most this many sweeps.
+#: can overshoot its budget by at most this many sweeps.  The JIT tier
+#: keeps the same contract by chunking its compiled calls so that
+#: control returns to Python exactly at these sweep boundaries.
 DEADLINE_SWEEP_BATCH = 16
+
+#: Memory bound on the JIT tier's precomputed log-uniform block:
+#: chunk_sweeps = clamp(JIT_CHUNK_ELEMENTS / (n * num_reads), 1,
+#: DEADLINE_SWEEP_BATCH).  2^22 float64s = 32 MB -- large enough that
+#: full 16-sweep chunks run up to n*reads ~ 256k, small enough never to
+#: blow the cache budget of a pool worker.
+JIT_CHUNK_ELEMENTS = 1 << 22
 
 
 def metropolis_sweeps(
@@ -232,10 +400,13 @@ def metropolis_sweeps(
     number of accepted flips.
 
     The accept logic -- and therefore the RNG consumption pattern -- is
-    the single definition shared by the dense and sparse kernels, which
-    is what makes the two backends sample-for-sample identical.  Every
-    proposal consumes one uniform per read (drawn per sweep in a single
-    block), so acceptance math never feeds back into the RNG stream.
+    the single definition shared by every kernel tier, which is what
+    makes the tiers sample-for-sample identical.  Every proposal
+    consumes one uniform per read (drawn per sweep in a single block),
+    so acceptance math never feeds back into the RNG stream.  The
+    accept test runs in the log domain (``log(u) < min(2 beta s f,
+    0)``) -- see the module docstring for why that choice makes the
+    numpy and compiled tiers bit-identical by construction.
 
     Args:
         deadline: optional :class:`~repro.core.deadline.Deadline`; the
@@ -258,17 +429,15 @@ def metropolis_sweeps(
         ):
             break
         variables = rng.permutation(n)
-        uniforms = rng.random((n, num_reads))
+        log_u = log_uniforms(rng, (n, num_reads))
         two_beta = 2.0 * beta
         for k in range(n):
             i = variables[k]
             # One-shot Metropolis accept: x = -beta * delta_i
             # = 2 beta s_i f_i, clipped at 0 so downhill proposals get
-            # p = 1 (always accepted, as u < 1 strictly) and the
-            # exponential cannot overflow.
+            # threshold 0 (always accepted, as log(u) < 0 strictly).
             x = two_beta * spins[:, i] * fields[:, i]
-            p = np.exp(np.minimum(x, 0.0))
-            rows = np.nonzero(uniforms[k] < p)[0]
+            rows = np.nonzero(log_u[k] < np.minimum(x, 0.0))[0]
             if len(rows):
                 flip(spins, fields, i, rows)
                 accepted += len(rows)
@@ -276,3 +445,96 @@ def metropolis_sweeps(
     if stats is not None:
         stats["sweeps_completed"] = completed
     return accepted
+
+
+def _jit_metropolis_sweeps(
+    rng: np.random.Generator,
+    spins: np.ndarray,
+    fields: np.ndarray,
+    betas: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    jit_mod,
+    deadline=None,
+    stats: Optional[dict] = None,
+) -> int:
+    """Fused-loop twin of :func:`metropolis_sweeps` on the numba tier.
+
+    Permutations and log-uniforms are pre-drawn in numpy -- in exactly
+    the per-sweep order the numpy tier consumes them -- then handed to
+    the compiled chunk kernel.  Chunks never cross a
+    :data:`DEADLINE_SWEEP_BATCH` boundary, so ``deadline.expired()`` is
+    polled at precisely the same sweep indices (and the same number of
+    times) as the numpy loop, and are additionally capped at
+    :data:`JIT_CHUNK_ELEMENTS` staged accept thresholds to bound memory.
+    """
+    n = spins.shape[1]
+    num_reads = spins.shape[0]
+    total = len(betas)
+    betas_arr = np.ascontiguousarray(betas, dtype=float)
+    max_chunk = max(1, min(DEADLINE_SWEEP_BATCH, JIT_CHUNK_ELEMENTS // max(1, n * num_reads)))
+    accepted = 0
+    sweep = 0
+    while sweep < total:
+        if (
+            deadline is not None
+            and sweep % DEADLINE_SWEEP_BATCH == 0
+            and deadline.expired()
+        ):
+            break
+        window_end = min(
+            total,
+            sweep + DEADLINE_SWEEP_BATCH - (sweep % DEADLINE_SWEEP_BATCH),
+        )
+        chunk = min(max_chunk, window_end - sweep)
+        perms = np.empty((chunk, n), dtype=np.int64)
+        log_u = np.empty((chunk, n, num_reads), dtype=float)
+        for c in range(chunk):
+            perms[c] = rng.permutation(n)
+            log_uniforms(rng, (n, num_reads), out=log_u[c])
+        accepted += int(
+            jit_mod.metropolis_chunk(
+                spins, fields, indptr, indices, data,
+                perms, log_u, betas_arr[sweep:sweep + chunk],
+            )
+        )
+        sweep += chunk
+    if stats is not None:
+        stats["sweeps_completed"] = sweep
+    return accepted
+
+
+def run_metropolis_sweeps(
+    rng: np.random.Generator,
+    spins: np.ndarray,
+    fields: np.ndarray,
+    betas: np.ndarray,
+    kernel: str,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    dense_j: Optional[np.ndarray] = None,
+    deadline=None,
+    stats: Optional[dict] = None,
+) -> int:
+    """Tier dispatcher for a full Metropolis anneal.
+
+    ``jit`` runs the fused compiled loop; ``dense``/``sparse`` build the
+    matching flip updater and run the shared numpy loop.  Results are
+    bit-identical across tiers for the same rng state.
+    """
+    if kernel == JIT:
+        jit_mod = _load_jit()
+        if jit_mod is None:
+            _warn_jit_fallback()
+            kernel = SPARSE
+        else:
+            return _jit_metropolis_sweeps(
+                rng, spins, fields, betas, indptr, indices, data,
+                jit_mod, deadline=deadline, stats=stats,
+            )
+    flip = make_flip_updater(kernel, indptr, indices, data, dense_j)
+    return metropolis_sweeps(
+        rng, spins, fields, betas, flip, deadline=deadline, stats=stats
+    )

@@ -58,6 +58,36 @@ def _anneal_batch(job, deadline=None) -> Tuple[List, np.ndarray, str, bool]:
     return list(raw.variables), raw.records, raw.info.get("kernel", ""), interrupted
 
 
+def _anneal_gauge_batch(jobs, deadline=None) -> List[Tuple[List, np.ndarray, str, bool]]:
+    """Anneal every gauge batch in one packed kernel invocation.
+
+    The jobs' programmed models, read counts, and seeds were all drawn
+    by the parent exactly as for serial/pooled dispatch; the first job's
+    core seed seeds the shared batch stream.  Every batch carries the
+    same ``num_sweeps`` (one annealing time per call), and the shared
+    deadline interrupts all batches at the same sweep.
+    """
+    from repro.solvers.batch import BatchedSweepJob
+
+    _, _, num_sweeps, first_seed, kernel, budget = jobs[0]
+    if deadline is None and budget is not None:
+        deadline = budget.start()
+    batch = BatchedSweepJob(seed=first_seed, kernel=kernel)
+    for programmed, batch_reads, _sweeps, _seed, _kernel, _budget in jobs:
+        batch.add(programmed, num_reads=batch_reads)
+    results = []
+    for raw in batch.run(num_sweeps=num_sweeps, deadline=deadline):
+        results.append(
+            (
+                list(raw.variables),
+                raw.records,
+                raw.info.get("kernel", ""),
+                bool(raw.info.get("deadline_interrupted", False)),
+            )
+        )
+    return results
+
+
 @dataclass
 class MachineProperties:
     """Parameters of the simulated machine (Section 2 of the paper).
@@ -181,6 +211,7 @@ class DWaveSimulator:
         num_spin_reversal_transforms: int = 0,
         kernel: Optional[str] = None,
         max_workers: Optional[int] = None,
+        batch_gauges: bool = False,
         deadline=None,
     ) -> SampleSet:
         """Anneal an embedded problem ``num_reads`` times.
@@ -198,12 +229,23 @@ class DWaveSimulator:
                 readout.  This is SAPI's spin-reversal-transform option:
                 the problem is mathematically unchanged but systematic
                 analog biases decorrelate across gauges.
-            kernel: force the annealing core's sweep backend
-                (``"dense"``/``"sparse"``); None auto-selects.
+            kernel: force the annealing core's sweep tier
+                (``"dense"``/``"sparse"``/``"jit"``); None auto-selects.
             max_workers: run the gauge batches in a process pool of this
                 size.  All randomness (gauges, analog noise, per-batch
                 core seeds) is drawn from the simulator RNG *before*
                 dispatch, so results are bit-identical to serial.
+            batch_gauges: pack all gauge batches into one
+                :class:`~repro.solvers.batch.BatchedSweepJob` kernel
+                invocation instead of annealing them one (or one pool
+                worker) at a time.  Gauges, noise, and seeds are still
+                drawn pre-dispatch, so the *programmed* models are
+                bit-identical to the serial path, but the packed anneal
+                consumes one shared RNG stream -- results are
+                deterministic given the simulator seed, not
+                sample-identical to unbatched runs.  Takes precedence
+                over ``max_workers`` when more than one gauge batch
+                exists.
             deadline: optional :class:`~repro.core.deadline.Deadline`.
                 The serial path hands the live deadline straight to the
                 annealing core; the pooled path ships a picklable
@@ -268,7 +310,9 @@ class DWaveSimulator:
             )
             gauges.append(gauge)
 
-        if max_workers is not None and max_workers > 1 and len(jobs) > 1:
+        if batch_gauges and len(jobs) > 1:
+            results = _anneal_gauge_batch(jobs, deadline=deadline)
+        elif max_workers is not None and max_workers > 1 and len(jobs) > 1:
             # The ``with`` context shuts the pool down and joins every
             # worker before returning -- a deadline expiry can shorten
             # the anneals but never leak processes.
@@ -319,6 +363,8 @@ class DWaveSimulator:
             "noise_applied": apply_noise,
             "num_spin_reversal_transforms": num_spin_reversal_transforms,
         }
+        if batch_gauges and len(jobs) > 1:
+            sampleset.info["batched_gauges"] = True
         if any_interrupted:
             sampleset.info["deadline_interrupted"] = True
         if reads_corrupted:

@@ -11,8 +11,9 @@ Implementation notes:
   shared sweep kernels in :mod:`repro.solvers.kernels`: a single
   spin-flip proposal is O(num_reads) to evaluate, and the field update
   is O(num_reads * n) on the dense kernel or O(num_reads * degree) on
-  the sparse kernel.  Embedded problems (Chimera degree <= 6) pick the
-  sparse kernel automatically.
+  the sparse/jit kernels.  Embedded problems (Chimera degree <= 6) pick
+  the sparse kernel automatically -- or the numba-compiled ``jit`` tier
+  when numba is installed.
 - The temperature follows a geometric beta schedule whose default range
   is derived from the model's coefficient magnitudes, mirroring neal's
   heuristic: hot enough to accept the worst single flip with probability
@@ -79,9 +80,11 @@ class SimulatedAnnealingSampler:
             initial_states: optional (num_reads, n) spin matrix (values
                 strictly in {-1, +1}) to start from instead of uniform
                 random states.
-            kernel: ``"dense"``/``"sparse"`` to force a sweep backend;
-                None picks by model size and density
-                (:func:`repro.solvers.kernels.choose_kernel`).
+            kernel: ``"dense"``/``"sparse"``/``"jit"`` to force a sweep
+                tier; None picks by model size, density, and read-batch
+                width (:func:`repro.solvers.kernels.choose_kernel`).
+                ``"jit"`` needs numba and falls back to ``"sparse"``
+                (warning once) without it.
             deadline: optional :class:`~repro.core.deadline.Deadline`;
                 the sweep loop stops cooperatively at sweep-batch
                 granularity when it expires (never raises).  A short run
@@ -101,7 +104,7 @@ class SimulatedAnnealingSampler:
             raise ValueError("num_reads must be positive")
 
         _, h_vec, indptr, indices, data = model.to_csr()
-        chosen = kernels.choose_kernel(n, len(indices), kernel)
+        chosen = kernels.choose_kernel(n, len(indices), kernel, num_reads=num_reads)
         if beta_range is None:
             beta_range = default_beta_range(model)
         beta_hot, beta_cold = beta_range
@@ -129,10 +132,9 @@ class SimulatedAnnealingSampler:
 
         # Local fields: fields[r, i] = h_i + sum_j J_ij s_rj.
         fields = kernels.init_local_fields(h_vec, indptr, indices, data, spins)
-        flip = kernels.make_flip_updater(chosen, indptr, indices, data)
         sweep_stats: dict = {}
-        accepted = kernels.metropolis_sweeps(
-            self._rng, spins, fields, betas, flip,
+        accepted = kernels.run_metropolis_sweeps(
+            self._rng, spins, fields, betas, chosen, indptr, indices, data,
             deadline=deadline, stats=sweep_stats,
         )
         elapsed = time.perf_counter() - start

@@ -73,8 +73,12 @@ class PathIntegralAnnealer:
             transverse_field: (initial, final) field strengths A; the
                 initial value should dominate the problem couplings, the
                 final value should be ~0.
-            kernel: ``"dense"``/``"sparse"`` to force a sweep backend;
-                None picks by model size and density.
+            kernel: ``"dense"``/``"sparse"``/``"jit"`` to force a sweep
+                tier; None picks by model size, density, and batch width
+                (rows here = reads x Trotter slices).  The jit tier
+                compiles the flip updater only -- SQA's accept math
+                consumes RNG conditionally on the uphill count, so the
+                accept loop stays in numpy for all tiers.
             deadline: optional :class:`~repro.core.deadline.Deadline`;
                 the Monte Carlo loop polls it once per sweep (PIMC
                 sweeps span all slices, so one sweep *is* the batch)
@@ -104,7 +108,9 @@ class PathIntegralAnnealer:
             raise ValueError("transverse_field must ramp from high to low > 0")
 
         _, h_vec, indptr, indices, data = model.to_csr()
-        chosen = kernels.choose_kernel(n, len(indices), kernel)
+        chosen = kernels.choose_kernel(
+            n, len(indices), kernel, num_reads=num_reads * trotter_slices
+        )
         beta = 1.0 / temperature
         slices = trotter_slices
         # Problem couplings are shared by each slice at strength 1/P

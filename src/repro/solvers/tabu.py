@@ -48,8 +48,11 @@ class TabuSampler:
             tenure: tabu tenure (iterations a flipped variable stays
                 frozen); defaults to ``min(20, n // 4 + 1)``.
             max_iter: flip iterations per restart.
-            kernel: ``"dense"``/``"sparse"`` to force a field-update
-                backend; None picks by model size and density.
+            kernel: ``"dense"``/``"sparse"``/``"jit"`` to force a
+                field-update tier; None picks by model size and density
+                with an effective read width of 1 -- the search flips
+                one row at a time, so narrow-batch dense wins on
+                mid-sized models when numba is absent.
             deadline: optional :class:`~repro.core.deadline.Deadline`;
                 checked between restarts and every 64 iterations inside
                 a search.  Expiry stops cleanly: interrupted restarts
@@ -64,7 +67,9 @@ class TabuSampler:
         if num_reads < 1:
             raise ValueError("num_reads must be positive")
         _, h_vec, indptr, indices, data = model.to_csr()
-        chosen = kernels.choose_kernel(n, len(indices), kernel)
+        # The search flips single rows, so the batch width is 1 no
+        # matter how many restarts run.
+        chosen = kernels.choose_kernel(n, len(indices), kernel, num_reads=1)
         if tenure is None:
             tenure = min(20, n // 4 + 1)
 
