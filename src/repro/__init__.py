@@ -25,6 +25,12 @@ Quickstart::
                          solver="sa", num_reads=2000, seed=0)
     best = result.valid_solutions[0]
     print(best.value_of("A"), best.value_of("B"))   # 11 x 13 (or 13 x 11)
+
+The same pipeline is servable: ``python -m repro serve --port 8000``
+starts the annealing-as-a-service HTTP/JSON job API
+(:mod:`repro.service`) -- asynchronous jobs over a bounded worker pool,
+compile/embedding caches shared across requests, per-tenant rate
+limits, and ``/healthz`` + ``/metrics`` endpoints.
 """
 
 from repro.core.compiler import (

@@ -30,6 +30,7 @@ import hashlib
 import logging
 import os
 import pickle
+import threading
 from dataclasses import dataclass, fields, is_dataclass
 from typing import Any, Dict, Optional
 
@@ -120,6 +121,9 @@ class ArtifactCache:
         self.stats = CacheStats()
         self._memory: Dict[str, Any] = {}
         self._disk_warned = False
+        # Shared across the service's worker threads; reentrant because
+        # get() promotes disk hits into memory under the same lock.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def _count(self, event: str) -> None:
@@ -128,36 +132,58 @@ class ArtifactCache:
 
     def get(self, key: str) -> Optional[Any]:
         if not self.enabled:
-            self.stats.misses += 1
+            with self._lock:
+                self.stats.misses += 1
             self._count("misses")
             return None
-        if key in self._memory:
-            self.stats.hits += 1
-            self._count("hits")
-            return self._memory[key]
+        with self._lock:
+            if key in self._memory:
+                self.stats.hits += 1
+                self._count("hits")
+                return self._memory[key]
         value = self._disk_get(key)
-        if value is not None:
-            self._memory_put(key, value)
-            self.stats.hits += 1
-            self._count("hits")
-            return value
-        self.stats.misses += 1
+        with self._lock:
+            if value is not None:
+                self._memory_put(key, value)
+                self.stats.hits += 1
+                self._count("hits")
+                return value
+            self.stats.misses += 1
         self._count("misses")
         return None
+
+    def contains(self, key: str) -> bool:
+        """Non-counting presence check (memory or disk tier).
+
+        Unlike :meth:`get`, this records neither a hit nor a miss --
+        it exists so callers (the service's warm-path detection) can
+        probe without perturbing the hit-ratio statistics, and without
+        deserializing a disk entry.
+        """
+        if not self.enabled:
+            return False
+        with self._lock:
+            if key in self._memory:
+                return True
+        path = self._disk_path(key)
+        return path is not None and os.path.exists(path)
 
     def put(self, key: str, value: Any) -> None:
         if not self.enabled:
             return
-        self._memory_put(key, value)
+        with self._lock:
+            self._memory_put(key, value)
+            self.stats.stores += 1
         self._disk_put(key, value)
-        self.stats.stores += 1
         self._count("stores")
 
     def clear(self) -> None:
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     # ------------------------------------------------------------------
     def _memory_put(self, key: str, value: Any) -> None:

@@ -28,6 +28,11 @@ Observability flags (see ``repro.core.trace``):
 ``python -m repro run design.v ...`` is accepted as sugar for
 ``python -m repro design.v ... --run``.
 
+``python -m repro serve --port 8000 --workers 4`` mounts the same
+pipeline behind the long-lived HTTP/JSON job service
+(:mod:`repro.service`): asynchronous jobs, shared compile/embedding
+caches, per-tenant rate limits, ``/healthz`` and ``/metrics``.
+
 Fault-tolerance flags (see ``repro.core.faults``):
 
 ``--inject-fault SPEC``
@@ -326,6 +331,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     # --run`` -- the paper's compile-then-execute flow as a subcommand.
     if argv and argv[0] == "run":
         argv = list(argv[1:]) + ["--run"]
+    # ``python -m repro serve ...`` mounts the whole pipeline behind the
+    # long-lived HTTP job service (repro.service).
+    if argv and argv[0] == "serve":
+        from repro.service.app import serve_main
+
+        return serve_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
 
     from repro.core import trace as _trace

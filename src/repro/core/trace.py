@@ -47,6 +47,7 @@ separate so they can be stripped for comparison.
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from contextlib import contextmanager
@@ -691,10 +692,20 @@ class MetricsRegistry:
         }
 
     def hit_ratio(self, prefix: str) -> float:
-        """Derived hit ratio for a ``<prefix>.hits``/``.misses`` pair."""
+        """Derived hit ratio for a ``<prefix>.hits``/``.misses`` pair.
+
+        Well-defined for every counter state: zero lookups (a freshly
+        started server rendering ``/metrics`` before any request) is
+        0.0, never a ZeroDivisionError, and a non-finite result (a
+        pathological counter holding ``inf``/``nan``) is clamped to 0.0
+        so the rendered summary can never contain ``nan``.
+        """
         hits = self.value(f"{prefix}.hits")
         lookups = hits + self.value(f"{prefix}.misses")
-        return hits / lookups if lookups else 0.0
+        if lookups <= 0 or not math.isfinite(lookups):
+            return 0.0
+        ratio = hits / lookups
+        return ratio if math.isfinite(ratio) else 0.0
 
     def render_summary(self, title: str = "metrics:") -> str:
         """An aligned plain-text table of every metric.
@@ -706,12 +717,28 @@ class MetricsRegistry:
         rows: List[Tuple[str, str]] = []
         for name in sorted(self._counters):
             rows.append((name, _format_number(self._counters[name].value)))
+            prefix = None
             if name.endswith(".hits"):
                 prefix = name[: -len(".hits")]
-                if f"{prefix}.misses" in self._counters:
-                    rows.append(
-                        (f"{prefix}.hit_ratio", f"{self.hit_ratio(prefix):.3f}")
-                    )
+            elif name.endswith(".misses"):
+                # A pre-registered .misses without its .hits twin still
+                # deserves the derived line (emitted once: the .hits
+                # branch owns it whenever both exist).
+                candidate = name[: -len(".misses")]
+                if f"{candidate}.hits" not in self._counters:
+                    prefix = candidate
+            if prefix is not None:
+                lookups = self.value(f"{prefix}.hits") + self.value(
+                    f"{prefix}.misses"
+                )
+                if lookups > 0 and math.isfinite(lookups):
+                    ratio_text = f"{self.hit_ratio(prefix):.3f}"
+                else:
+                    # Zero lookups: "0.000" would read as a measured
+                    # all-miss ratio; say explicitly that nothing was
+                    # looked up yet.
+                    ratio_text = "n/a (0 lookups)"
+                rows.append((f"{prefix}.hit_ratio", ratio_text))
         for name in sorted(self._gauges):
             rows.append((name, _format_number(self._gauges[name].value)))
         for name in sorted(self._histograms):

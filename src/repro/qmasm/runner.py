@@ -34,7 +34,7 @@ from __future__ import annotations
 import dataclasses
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -73,6 +73,28 @@ from repro.solvers.sampleset import SampleSet
 from repro.solvers.tabu import TabuSampler
 
 
+def json_safe(value: Any) -> Any:
+    """Coerce a value into something :mod:`json` can serialize.
+
+    Run artifacts carry numpy scalars, tuples, and arbitrary objects in
+    their ``info``/counter dicts; the service layer ships them over
+    HTTP, so everything must flatten to JSON primitives.
+    """
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [json_safe(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [json_safe(v) for v in value.tolist()]
+    return str(value)
+
+
 @dataclass
 class Solution:
     """One distinct solution, reported over visible symbolic names."""
@@ -105,6 +127,17 @@ class Solution:
         if not found:
             raise KeyError(f"no variable {base!r} in solution")
         return total
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe view of this solution (the service's wire format)."""
+        return {
+            "values": {name: bool(v) for name, v in sorted(self.values.items())},
+            "energy": float(self.energy),
+            "num_occurrences": int(self.num_occurrences),
+            "failed_assertions": list(self.failed_assertions),
+            "pins_respected": bool(self.pins_respected),
+            "valid": self.valid,
+        }
 
 
 @dataclass
@@ -153,6 +186,48 @@ class RunResult:
         if self.embedding is None:
             return 0
         return self.embedding.total_qubits()
+
+    def result_payload(
+        self, max_solutions: int = 16, include_samples: bool = False
+    ) -> Dict[str, Any]:
+        """JSON-safe summary of the run (the service's result body).
+
+        Solutions are capped at ``max_solutions`` (best-energy first, as
+        :attr:`solutions` is already sorted); ``include_samples`` adds
+        the raw energy-sorted spin reads, which is what bit-identity
+        across serial and concurrent execution is asserted over.
+        """
+        payload: Dict[str, Any] = {
+            "num_solutions": len(self.solutions),
+            "num_valid_solutions": len(self.valid_solutions),
+            "solutions": [s.as_dict() for s in self.solutions[:max_solutions]],
+            "logical_variables": self.num_logical_variables(),
+            "physical_qubits": self.num_physical_qubits(),
+            "representative": dict(self.representative),
+            "info": json_safe(self.info),
+        }
+        if len(self.solutions) > max_solutions:
+            payload["solutions_truncated"] = True
+        if self.fixed_spins:
+            payload["fixed_spins"] = {
+                str(k): int(v) for k, v in self.fixed_spins.items()
+            }
+        if self.certificate is not None:
+            payload["certificate"] = {
+                "ok": self.certificate.ok,
+                "certified_reads": self.certificate.certified_reads,
+                "total_reads": self.certificate.total_reads,
+                "certified_fraction": self.certificate.certified_fraction,
+                "summary": self.certificate.summary(),
+            }
+        if include_samples:
+            payload["samples"] = {
+                "variables": [str(v) for v in self.sampleset.variables],
+                "records": json_safe(self.sampleset.records),
+                "energies": json_safe(self.sampleset.energies),
+                "occurrences": json_safe(self.sampleset.occurrences),
+            }
+        return payload
 
 
 # ----------------------------------------------------------------------

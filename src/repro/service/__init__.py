@@ -1,0 +1,48 @@
+"""Annealing-as-a-service: the long-lived HTTP/JSON job service.
+
+The batch pipeline (compile -> embed -> anneal) becomes a served
+product here: a stdlib-only HTTP server accepts Verilog or QMASM
+submissions as asynchronous *jobs*, executes them on a bounded worker
+pool that shares the content-addressed compilation and embedding caches
+across requests (a warm hit skips straight to sampling), enforces
+per-request deadlines and per-tenant token-bucket rate limits, and
+exposes health and metrics endpoints rendered from the same
+:class:`~repro.core.trace.MetricsRegistry` the rest of the stack
+records into.
+
+Surface:
+
+* ``POST /jobs``  -- submit a job (source + pins + run options), get an id
+* ``GET /jobs/<id>``        -- status / result / structured error
+* ``GET /jobs/<id>/trace``  -- per-stage wall times for a finished job
+* ``GET /healthz``          -- liveness, queue depth, job-state counts
+* ``GET /metrics``          -- plain-text (or JSON) metrics summary
+
+Start it with ``python -m repro serve --port 8000 --workers 4`` or
+embed it::
+
+    from repro.service import AnnealingServer, ServiceConfig
+
+    server = AnnealingServer(ServiceConfig(port=0, workers=2))
+    ...  # server.serve_forever() in a thread; server.shutdown_service()
+"""
+
+from repro.service.app import AnnealingServer, AnnealingService, ServiceConfig, serve_main
+from repro.service.jobs import Job, JobRequest, JobState, JobStore, ServiceError
+from repro.service.queue import WorkerPool
+from repro.service.ratelimit import RateLimiter, TokenBucket
+
+__all__ = [
+    "AnnealingServer",
+    "AnnealingService",
+    "ServiceConfig",
+    "serve_main",
+    "Job",
+    "JobRequest",
+    "JobState",
+    "JobStore",
+    "ServiceError",
+    "WorkerPool",
+    "RateLimiter",
+    "TokenBucket",
+]

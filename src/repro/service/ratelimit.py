@@ -1,0 +1,108 @@
+"""Per-tenant token-bucket rate limiting for the annealing service.
+
+The classic serving-side throttle: each tenant owns a bucket of
+``burst`` tokens refilled continuously at ``rate`` tokens/second; a
+submission costs one token.  An empty bucket answers HTTP 429 with a
+``Retry-After`` telling the client exactly when the next token accrues,
+so well-behaved clients back off precisely instead of hammering.
+
+The clock is injectable, so the refill arithmetic is exactly testable
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
+
+
+class TokenBucket:
+    """One tenant's bucket: ``burst`` capacity, ``rate`` tokens/second."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated_s")
+
+    def __init__(self, rate: float, burst: float, now_s: float):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate!r}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst!r}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated_s = now_s
+
+    def try_acquire(self, now_s: float, cost: float = 1.0) -> Tuple[bool, float]:
+        """Spend ``cost`` tokens if available.
+
+        Returns ``(True, 0.0)`` on success, else ``(False,
+        retry_after_s)`` where ``retry_after_s`` is the exact time until
+        the missing tokens will have accrued.
+        """
+        elapsed = max(0.0, now_s - self.updated_s)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated_s = now_s
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True, 0.0
+        return False, (cost - self.tokens) / self.rate
+
+
+class RateLimiter:
+    """Lazily-created per-tenant buckets behind one lock.
+
+    Args:
+        rate: tokens/second per tenant; ``None`` (or <= 0) disables
+            limiting entirely -- every acquire succeeds.
+        burst: bucket capacity per tenant (the allowed burst size).
+        clock: monotonic time source, injectable for deterministic
+            tests.
+        max_tenants: bound on tracked buckets; beyond it the
+            least-recently-used tenant's bucket is dropped (that tenant
+            simply starts a fresh, full bucket later -- a bounded-memory
+            tradeoff, not a correctness one).
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: float = 10.0,
+        clock: Callable[[], float] = time.monotonic,
+        max_tenants: int = 10_000,
+    ):
+        self.rate = rate if rate is not None and rate > 0 else None
+        self.burst = float(burst)
+        self.max_tenants = max_tenants
+        self._clock = clock
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate is not None
+
+    def acquire(self, tenant: str, cost: float = 1.0) -> Tuple[bool, float]:
+        """Try to admit one request for ``tenant``.
+
+        Returns ``(allowed, retry_after_s)``; ``retry_after_s`` is 0.0
+        when allowed.
+        """
+        if self.rate is None:
+            return True, 0.0
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, now)
+                self._buckets[tenant] = bucket
+                while len(self._buckets) > self.max_tenants:
+                    self._buckets.popitem(last=False)
+            else:
+                self._buckets.move_to_end(tenant)
+            return bucket.try_acquire(now, cost=cost)
+
+    def tenants(self) -> Dict[str, float]:
+        """Current token balances (diagnostic view)."""
+        with self._lock:
+            return {name: b.tokens for name, b in self._buckets.items()}

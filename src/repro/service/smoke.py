@@ -1,0 +1,156 @@
+"""Service smoke test: one cold job, one warm job, assert the contract.
+
+Run against a live server (CI starts ``python -m repro serve`` and
+points this at it)::
+
+    python -m repro.service.smoke --url http://127.0.0.1:8000
+
+or fully self-contained (starts an in-process server on an ephemeral
+port, exercises it, shuts it down)::
+
+    python -m repro.service.smoke
+
+Exit code 0 means the serving contract held: the server answered
+``/healthz``, a cold submission reached ``done``, an identical warm
+resubmission also reached ``done`` *with* ``cache_warm`` set, and the
+``service.cache_warm`` counter advanced.  Any deviation exits 1 with a
+message naming the failed check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Tuple
+
+SMOKE_SOURCE = """
+module mult (A, B, C);
+   input [3:0] A;
+   input [3:0] B;
+   output [7:0] C;
+   assign C = A * B;
+endmodule
+"""
+
+SMOKE_JOB = {
+    "source": SMOKE_SOURCE,
+    "pins": ["C[7:0] := 10001111"],
+    "solver": "sa",
+    "num_reads": 200,
+    "seed": 7,
+}
+
+
+class SmokeFailure(Exception):
+    """One named smoke check failed."""
+
+
+def _request(
+    url: str, payload: Optional[Dict[str, Any]] = None, timeout_s: float = 30.0
+) -> Tuple[int, Any]:
+    data = json.dumps(payload).encode("utf-8") if payload is not None else None
+    request = urllib.request.Request(
+        url,
+        data=data,
+        headers={"Content-Type": "application/json", "X-Tenant": "smoke"},
+        method="POST" if payload is not None else "GET",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as reply:
+            return reply.status, json.loads(reply.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode("utf-8"))
+
+
+def _await_terminal(base: str, job_id: str, timeout_s: float = 60.0) -> Dict:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        _, snapshot = _request(f"{base}/jobs/{job_id}")
+        if snapshot.get("state") in ("done", "error", "timeout"):
+            return snapshot
+        time.sleep(0.05)
+    raise SmokeFailure(f"job {job_id} did not finish within {timeout_s}s")
+
+
+def _expect(condition: bool, check: str) -> None:
+    if not condition:
+        raise SmokeFailure(check)
+
+
+def run_smoke(base: str) -> None:
+    """The checks; raises :class:`SmokeFailure` with the failing one."""
+    status, health = _request(f"{base}/healthz")
+    _expect(status == 200 and health.get("status") == "ok", "healthz answered ok")
+
+    status, submitted = _request(f"{base}/jobs", SMOKE_JOB)
+    _expect(status == 202, f"cold submission accepted (got {status})")
+    cold = _await_terminal(base, submitted["id"])
+    _expect(cold["state"] == "done", f"cold job done (got {cold['state']})")
+    _expect(
+        any(s["valid"] for s in cold["result"]["solutions"]),
+        "cold job found a valid factorization",
+    )
+
+    status, resubmitted = _request(f"{base}/jobs", SMOKE_JOB)
+    _expect(status == 202, f"warm submission accepted (got {status})")
+    warm = _await_terminal(base, resubmitted["id"])
+    _expect(warm["state"] == "done", f"warm job done (got {warm['state']})")
+    _expect(warm["cache_warm"] is True, "warm job flagged cache_warm")
+
+    status, metrics = _request(f"{base}/metrics?format=json")
+    _expect(status == 200, "metrics endpoint answered")
+    counters = metrics.get("counters", {})
+    _expect(
+        counters.get("service.cache_warm", 0) >= 1,
+        "service.cache_warm counter advanced",
+    )
+    _expect(
+        counters.get("cache.compile.hits", 0) >= 1,
+        "shared compile cache recorded the warm hit",
+    )
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.smoke", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--url",
+        default=None,
+        help="base URL of a running server; omit to self-host in-process",
+    )
+    args = parser.parse_args(argv)
+
+    server = None
+    base = args.url
+    if base is None:
+        import threading
+
+        from repro.service.app import AnnealingServer, ServiceConfig
+
+        server = AnnealingServer(ServiceConfig(port=0, workers=2))
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        base = server.url
+    base = base.rstrip("/")
+
+    try:
+        run_smoke(base)
+    except SmokeFailure as exc:
+        print(f"SMOKE FAIL: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if server is not None:
+            clean = server.shutdown_service()
+            if not clean:
+                print("SMOKE FAIL: shutdown left threads behind", file=sys.stderr)
+                return 1
+    print(f"SMOKE OK: cold+warm job lifecycle against {base}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,13 @@
-"""Shared fixtures: paper listings, small models, and compilers."""
+"""Shared fixtures: paper listings, small models, compilers, servers."""
 
 from __future__ import annotations
+
+import faulthandler
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
 
 import pytest
 
@@ -125,3 +132,133 @@ def triangle_model() -> IsingModel:
     for pair in (("a", "b"), ("b", "c"), ("c", "a")):
         model.add_interaction(*pair, 1.0)
     return model
+
+
+# ----------------------------------------------------------------------
+# Annealing-service fixtures (tests/test_service.py, benchmarks).
+#
+# Server tests must never hang the suite: every fixture below is
+# wall-clock bounded, and an autouse faulthandler guard (the stdlib
+# stand-in for pytest-timeout, which is not a dependency of this repo)
+# dumps all stacks and kills the process if a service test wedges.
+# ----------------------------------------------------------------------
+SERVICE_TEST_TIMEOUT_S = 120.0
+
+
+@pytest.fixture(autouse=True)
+def _service_hang_guard(request):
+    """Hard wall-clock bound for service/benchmark tests only."""
+    path = str(getattr(request, "fspath", ""))
+    if "test_service" not in path:
+        yield
+        return
+    faulthandler.dump_traceback_later(SERVICE_TEST_TIMEOUT_S, exit=True)
+    try:
+        yield
+    finally:
+        faulthandler.cancel_dump_traceback_later()
+
+
+class ServiceClient:
+    """A tiny JSON-over-HTTP client for the test server.
+
+    Returns ``(status, decoded_body)`` and never raises on HTTP error
+    statuses -- 4xx/5xx bodies are part of the contract under test.
+    """
+
+    def __init__(self, base_url: str):
+        self.base_url = base_url.rstrip("/")
+
+    def request(self, method, path, payload=None, tenant="tests", timeout_s=30.0):
+        data = json.dumps(payload).encode("utf-8") if payload is not None else None
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            headers={"Content-Type": "application/json", "X-Tenant": tenant},
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=timeout_s) as reply:
+                body = reply.read().decode("utf-8")
+                headers = dict(reply.headers)
+                status = reply.status
+        except urllib.error.HTTPError as exc:
+            body = exc.read().decode("utf-8")
+            headers = dict(exc.headers)
+            status = exc.code
+        try:
+            decoded = json.loads(body)
+        except json.JSONDecodeError:
+            decoded = body
+        return status, decoded, headers
+
+    def get(self, path, **kwargs):
+        status, body, _ = self.request("GET", path, **kwargs)
+        return status, body
+
+    def post(self, path, payload, **kwargs):
+        status, body, _ = self.request("POST", path, payload=payload, **kwargs)
+        return status, body
+
+    def await_terminal(self, job_id, timeout_s=60.0, poll_s=0.02):
+        """Poll one job to a terminal state (bounded)."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            status, snapshot = self.get(f"/jobs/{job_id}")
+            assert status == 200, f"poll failed: {status} {snapshot}"
+            if snapshot["state"] in ("done", "error", "timeout"):
+                return snapshot
+            time.sleep(poll_s)
+        raise AssertionError(f"job {job_id} still {snapshot['state']} after {timeout_s}s")
+
+
+def start_service_server(config=None):
+    """Start an AnnealingServer on an ephemeral port; bounded readiness.
+
+    Returns ``(server, client)``; the caller owns shutdown (the
+    ``service_server`` fixture wraps this with asserted-clean teardown).
+    """
+    from repro.service.app import AnnealingServer, ServiceConfig
+
+    server = AnnealingServer(config or ServiceConfig(port=0, workers=2))
+    thread = threading.Thread(
+        target=server.serve_forever, name="service-test-server", daemon=True
+    )
+    thread.start()
+    client = ServiceClient(server.url)
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        try:
+            status, body = client.get("/healthz", timeout_s=2.0)
+            if status == 200 and body.get("status") == "ok":
+                return server, client
+        except (OSError, urllib.error.URLError):
+            pass
+        time.sleep(0.02)
+    server.shutdown_service(drain=False, timeout_s=5.0)
+    raise AssertionError("service did not become healthy within 10s")
+
+
+@pytest.fixture()
+def service_server():
+    """A running server + client; teardown asserts a clean wind-down.
+
+    The thread-leak check is part of the serving contract: after a
+    drained shutdown no worker or handler thread may survive.
+    """
+    baseline_threads = {t.ident for t in threading.enumerate()}
+    server, client = start_service_server()
+    yield server, client
+    clean = server.shutdown_service(drain=True, timeout_s=30.0)
+    assert clean, "service shutdown did not drain cleanly"
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        leaked = [
+            t
+            for t in threading.enumerate()
+            if t.ident not in baseline_threads and t.is_alive()
+        ]
+        if not leaked:
+            break
+        time.sleep(0.05)
+    assert not leaked, f"service left threads behind: {[t.name for t in leaked]}"

@@ -279,6 +279,36 @@ class TestMetrics:
     def test_render_summary_empty(self):
         assert "no metrics" in MetricsRegistry().render_summary()
 
+    def test_hit_ratio_well_defined_at_zero_lookups(self):
+        """Regression: a fresh server pre-registers hits/misses at zero
+        and renders /metrics before any request -- the derived ratio
+        must be an explicit n/a, never 0/0, never NaN."""
+        registry = MetricsRegistry()
+        registry.counter("cache.compile.hits")
+        registry.counter("cache.compile.misses")
+        assert registry.hit_ratio("cache.compile") == 0.0
+        text = registry.render_summary()
+        assert "cache.compile.hit_ratio" in text
+        assert "n/a (0 lookups)" in text
+        assert "nan" not in text.lower()
+
+    def test_hit_ratio_emitted_when_only_one_twin_exists(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.embedding.misses").inc(4)
+        text = registry.render_summary()
+        # All-miss traffic without a .hits twin still derives the line
+        # (exactly once).
+        assert text.count("cache.embedding.hit_ratio") == 1
+        assert "0.000" in text
+        assert registry.hit_ratio("cache.embedding") == 0.0
+
+    def test_hit_ratio_clamps_non_finite_counters(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.c.hits").inc(float("inf"))
+        registry.counter("cache.c.misses").inc(1)
+        assert registry.hit_ratio("cache.c") == 0.0
+        assert "nan" not in registry.render_summary().lower()
+
 
 # ----------------------------------------------------------------------
 # Ambient installation + the disabled fast path
