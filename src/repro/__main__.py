@@ -5,8 +5,10 @@ exposes the pass pipeline: ``--time-passes`` prints the per-stage
 timing/counter tables, ``--stats`` prints the Section 6.1 static
 properties, and ``--no-cache`` bypasses the compilation and embedding
 caches.  ``python -m repro serve`` starts the HTTP/JSON job service
-(see ``repro.service``).  See ``python -m repro --help`` for the full
-flag list and ``python -m repro serve --help`` for the service's.
+(see ``repro.service``); with ``--state-dir`` it write-ahead journals
+every job so acknowledged work survives crashes and restarts.  See
+``python -m repro --help`` for the full flag list and
+``python -m repro serve --help`` for the service's.
 """
 
 import sys

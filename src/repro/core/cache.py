@@ -42,6 +42,36 @@ from repro.hardware.embedding import graph_fingerprint
 logger = logging.getLogger(__name__)
 
 
+def atomic_write_bytes(path: str, data: bytes, fsync: bool = True) -> None:
+    """Crash-safe file replacement: write-temp, fsync, atomic rename.
+
+    The shared durability primitive behind the cache disk tier, the
+    shard checkpoints, and the service's job-journal compaction: a
+    process killed at any instant leaves either the previous file or
+    the new one under ``path``, never a torn hybrid.  The temp name
+    includes the PID so two processes writing the same path cannot
+    clobber each other's partial writes.  Errors propagate to the
+    caller (callers own their degrade-vs-fail policy).
+    """
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    tmp = f"{path}.{os.getpid()}.tmp"
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except Exception:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+
+
 @dataclass
 class CacheStats:
     """Hit/miss counters for one cache instance."""
@@ -250,21 +280,12 @@ class ArtifactCache:
         path = self._disk_path(key)
         if path is None:
             return
-        tmp = f"{path}.{os.getpid()}.tmp"
         try:
             os.makedirs(self.cache_dir, exist_ok=True)
-            with open(tmp, "wb") as handle:
-                pickle.dump(value, handle)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, path)
+            atomic_write_bytes(path, pickle.dumps(value))
         except Exception as exc:
             # An unwritable disk tier degrades to memory-only.
             self._disk_warn("store", path, exc)
-            try:
-                os.remove(tmp)
-            except OSError:
-                pass
 
 
 class CompilationCache(ArtifactCache):

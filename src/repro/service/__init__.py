@@ -18,6 +18,18 @@ Surface:
 * ``GET /healthz``          -- liveness, queue depth, job-state counts
 * ``GET /metrics``          -- plain-text (or JSON) metrics summary
 
+Durability: with ``--state-dir`` the service write-ahead journals every
+job state transition (:mod:`repro.service.journal`) -- a ``202``
+is only sent after the accept record (request + materialized seed) is
+fsynced, so a crash or SIGKILL at any later instant loses nothing.  On
+restart a recovery pass (:mod:`repro.service.recovery`) replays the
+journal: finished jobs keep answering ``GET /jobs/<id>``, orphans are
+re-enqueued and -- the pipeline being a pure function of request and
+seed -- re-run bit-identically, and poison jobs that crashed the worker
+twice are quarantined.  Retried ``POST /jobs`` carrying an
+``Idempotency-Key`` header (or ``idempotency_key`` field) dedup to the
+original job.  SIGTERM takes the same drain-and-flush path as ^C.
+
 Start it with ``python -m repro serve --port 8000 --workers 4`` or
 embed it::
 
@@ -29,8 +41,10 @@ embed it::
 
 from repro.service.app import AnnealingServer, AnnealingService, ServiceConfig, serve_main
 from repro.service.jobs import Job, JobRequest, JobState, JobStore, ServiceError
+from repro.service.journal import JobJournal
 from repro.service.queue import WorkerPool
 from repro.service.ratelimit import RateLimiter, TokenBucket
+from repro.service.recovery import RecoveryReport, recover
 
 __all__ = [
     "AnnealingServer",
@@ -42,7 +56,10 @@ __all__ = [
     "JobState",
     "JobStore",
     "ServiceError",
+    "JobJournal",
     "WorkerPool",
     "RateLimiter",
     "TokenBucket",
+    "RecoveryReport",
+    "recover",
 ]

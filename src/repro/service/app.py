@@ -21,17 +21,22 @@ surfaced as the ``service.cache_warm`` counter and the job's
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import logging
+import os
 import re
+import secrets
+import signal
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
-from repro.core.cache import CompilationCache, EmbeddingCache
+from repro.core.cache import CompilationCache, EmbeddingCache, stable_hash
 from repro.core.compiler import CompileOptions, VerilogAnnealerCompiler
 from repro.core.deadline import Deadline, DeadlineExceeded
 from repro.core.trace import MetricsRegistry
@@ -45,12 +50,43 @@ from repro.service.jobs import (
     JobStore,
     ServiceError,
 )
+from repro.service.journal import JobJournal
 from repro.service.queue import WorkerPool
 from repro.service.ratelimit import RateLimiter
+from repro.service.recovery import RecoveryReport, recover
 
 logger = logging.getLogger(__name__)
 
 _JOB_PATH_RE = re.compile(r"^/jobs/([A-Za-z0-9_\-]+)(/trace)?$")
+
+#: Chaos-testing hook: when set to a pipeline stage name (``elaborate``,
+#: ``find_embedding``, ``sample``, ...), the worker hard-exits the
+#: process (``os._exit(137)``, indistinguishable from a SIGKILL) the
+#: moment that stage begins.  The recovery kill-matrix tests use it to
+#: crash the service deterministically at each pipeline stage.
+CRASH_STAGE_ENV = "REPRO_SERVICE_CRASH_STAGE"
+
+#: Submission cap on Idempotency-Key length.
+MAX_IDEMPOTENCY_KEY_LEN = 256
+
+
+def _payload_fingerprint(payload: Any) -> str:
+    """Canonical digest of a submission body (idempotency conflict check)."""
+    return stable_hash(
+        "payload:" + json.dumps(payload, sort_keys=True, default=str)
+    )
+
+
+def _crash_stage_hook() -> Optional[Callable[[Dict[str, Any]], None]]:
+    stage = os.environ.get(CRASH_STAGE_ENV)
+    if not stage:
+        return None
+
+    def hook(event: Dict[str, Any]) -> None:
+        if event.get("event") == "begin" and event.get("stage") == stage:
+            os._exit(137)
+
+    return hook
 
 
 @dataclass
@@ -80,6 +116,18 @@ class ServiceConfig:
     machines: int = 4
     #: Request-body bound.
     max_body_bytes: int = 2_000_000
+    #: Directory for the write-ahead job journal; None keeps all job
+    #: state in memory (a crash loses queued/in-flight jobs).
+    state_dir: Optional[str] = None
+    #: Replay the journal on startup (re-enqueue orphans, restore
+    #: terminal results).  Only meaningful with ``state_dir``.
+    recover: bool = True
+    #: A job whose journaled attempts reach this count with no terminal
+    #: record crashed the worker that many times: quarantine it on
+    #: recovery instead of re-enqueueing it into a crash loop.
+    quarantine_after: int = 2
+    #: Bound on tracked (tenant, Idempotency-Key) pairs; oldest dropped.
+    max_idempotency_keys: int = 4096
 
 
 class AnnealingService:
@@ -96,6 +144,15 @@ class AnnealingService:
         self.pool = WorkerPool(
             self.execute, workers=cfg.workers, queue_size=cfg.queue_size
         )
+        self.journal: Optional[JobJournal] = (
+            JobJournal(cfg.state_dir) if cfg.state_dir else None
+        )
+        self.recovery_report: Optional[RecoveryReport] = None
+        self._idempotency: "OrderedDict[Tuple[str, str], Tuple[str, Optional[str]]]" = (
+            OrderedDict()
+        )
+        self._idempotency_lock = threading.Lock()
+        self._crash_hook = _crash_stage_hook()
         self.metrics = MetricsRegistry()
         self._metrics_lock = threading.Lock()
         self._cache_sync: Dict[str, float] = {}
@@ -113,6 +170,14 @@ class AnnealingService:
             "service.cache_cold",
             "service.rate_limited",
             "service.queue_rejections",
+            "service.idempotent_hits",
+            "service.idempotency_conflicts",
+            "service.recovered_jobs",
+            "service.requeued_jobs",
+            "service.quarantined_jobs",
+            "service.gone_410",
+            "journal.records",
+            "journal.torn_records",
             "cache.compile.hits",
             "cache.compile.misses",
             "cache.embedding.hits",
@@ -121,12 +186,11 @@ class AnnealingService:
             self.metrics.counter(name)
         self.metrics.gauge("service.queue_depth")
         self.metrics.gauge("service.workers_alive").set(0)
+        self.metrics.gauge("service.recovery_replay_s").set(0.0)
 
     def _cache_dir(self, kind: str) -> Optional[str]:
         if self.config.cache_dir is None:
             return None
-        import os
-
         return os.path.join(self.config.cache_dir, kind)
 
     # -- metrics helpers ----------------------------------------------
@@ -167,17 +231,164 @@ class AnnealingService:
                 time.time() - self.started_s
             )
 
+    # -- journal plumbing ----------------------------------------------
+    def _bind_journal(self, job: Job) -> None:
+        """Attach the terminal sink so every finish() is journaled."""
+        if self.journal is not None:
+            job.bind_terminal_sink(self._journal_terminal)
+
+    def _journal_terminal(self, job: Job) -> None:
+        try:
+            self.journal.terminal(job.id, job.terminal_record())
+            self._count("journal.records")
+        except Exception:  # pragma: no cover - disk failure guard
+            # Durability degraded, but a journal write failure must not
+            # take the worker (or the job's in-memory result) with it.
+            logger.exception("failed to journal terminal for job %s", job.id)
+
+    def _register_idempotency_key(
+        self, tenant: str, key: str, job_id: str, fingerprint: Optional[str]
+    ) -> None:
+        with self._idempotency_lock:
+            self._idempotency[(tenant, key)] = (job_id, fingerprint)
+            self._idempotency.move_to_end((tenant, key))
+            while len(self._idempotency) > self.config.max_idempotency_keys:
+                self._idempotency.popitem(last=False)
+
+    def _idempotency_lookup(
+        self, tenant: str, key: str
+    ) -> Optional[Tuple[str, Optional[str]]]:
+        with self._idempotency_lock:
+            entry = self._idempotency.get((tenant, key))
+            if entry is not None:
+                self._idempotency.move_to_end((tenant, key))
+            return entry
+
     # -- lifecycle -----------------------------------------------------
     def start(self) -> None:
+        """Recover journaled jobs (if configured), then start serving."""
+        requeue: List[Job] = []
+        if self.journal is not None and self.config.recover:
+            requeue, report = recover(self)
+            self.recovery_report = report
+            self._count("service.recovered_jobs", report.recovered_jobs)
+            self._count("service.quarantined_jobs", report.quarantined_jobs)
+            self._count("journal.torn_records", report.torn_records)
+            with self._metrics_lock:
+                self.metrics.gauge("service.recovery_replay_s").set(
+                    report.replay_s
+                )
+            if report.recovered_jobs:
+                logger.info(
+                    "recovered %d journaled job(s) in %.0fms "
+                    "(%d terminal, %d requeued, %d quarantined)",
+                    report.recovered_jobs,
+                    report.replay_s * 1000,
+                    report.terminal_jobs,
+                    report.requeued_jobs,
+                    report.quarantined_jobs,
+                )
         self.pool.start()
+        for job in requeue:
+            if self.pool.submit(job):
+                self._count("service.requeued_jobs")
+            else:
+                job.finish(
+                    JobState.ERROR,
+                    error={
+                        "error": "queue_full",
+                        "message": "recovered job could not be re-enqueued "
+                        "(queue full); resubmit it",
+                        "status": 503,
+                    },
+                )
 
     def shutdown(self, drain: bool = True, timeout_s: float = 30.0) -> bool:
-        """Stop the worker pool; True iff it wound down cleanly."""
-        return self.pool.shutdown(drain=drain, timeout_s=timeout_s)
+        """Stop the worker pool; True iff it wound down cleanly.
+
+        With a journal, the drain is what makes restarts exact: every
+        in-flight job reaches a journaled terminal state before the
+        final flush-and-close, so the next recovery has nothing to
+        re-run.
+        """
+        clean = self.pool.shutdown(drain=drain, timeout_s=timeout_s)
+        if self.journal is not None:
+            self.journal.close()
+        return clean
 
     # -- submission ----------------------------------------------------
-    def submit(self, payload: Any, tenant: str = "anonymous") -> Job:
-        """Validate and enqueue one submission (or raise ServiceError)."""
+    def _extract_idempotency_key(
+        self, payload: Any, header_key: Optional[str]
+    ) -> Tuple[Any, Optional[str]]:
+        """Pull the key out of the body (or take the header's); validate."""
+        key = header_key
+        if isinstance(payload, dict) and "idempotency_key" in payload:
+            payload = dict(payload)
+            field_key = payload.pop("idempotency_key")
+            if field_key is not None:
+                key = key or field_key
+        if key is not None:
+            if (
+                not isinstance(key, str)
+                or not key.strip()
+                or len(key) > MAX_IDEMPOTENCY_KEY_LEN
+            ):
+                raise ServiceError(
+                    400,
+                    "invalid_request",
+                    "idempotency key must be a non-empty string of at most "
+                    f"{MAX_IDEMPOTENCY_KEY_LEN} characters",
+                    field="idempotency_key",
+                )
+            key = key.strip()
+        return payload, key
+
+    def submit(
+        self,
+        payload: Any,
+        tenant: str = "anonymous",
+        idempotency_key: Optional[str] = None,
+    ) -> Tuple[Job, bool]:
+        """Validate and enqueue one submission (or raise ServiceError).
+
+        Returns ``(job, deduplicated)``: a resubmission carrying an
+        already-seen ``Idempotency-Key`` (with a byte-identical payload)
+        returns the *original* job without executing anything -- the
+        retry-after-a-lost-202 path -- and never spends a rate-limit
+        token.  The same key with a *different* payload is a structured
+        409 conflict.
+        """
+        payload, key = self._extract_idempotency_key(payload, idempotency_key)
+        fingerprint: Optional[str] = None
+        if key is not None:
+            fingerprint = _payload_fingerprint(payload)
+            existing = self._idempotency_lookup(tenant, key)
+            if existing is not None:
+                job_id, stored_fp = existing
+                if stored_fp is not None and stored_fp != fingerprint:
+                    self._count("service.idempotency_conflicts")
+                    raise ServiceError(
+                        409,
+                        "idempotency_conflict",
+                        f"idempotency key {key!r} was already used with a "
+                        "different payload",
+                        idempotency_key=key,
+                    )
+                job = self.store.get(job_id)
+                if job is not None:
+                    self._count("service.idempotent_hits")
+                    return job, True
+                # The original job aged out of retention; surfacing
+                # that beats silently re-running a request the client
+                # believes already executed.
+                raise ServiceError(
+                    410,
+                    "gone",
+                    f"the job for idempotency key {key!r} was evicted by "
+                    "the retention bound",
+                    idempotency_key=key,
+                    original_job_id=job_id,
+                )
         allowed, retry_after = self.limiter.acquire(tenant)
         if not allowed:
             self._count("service.rate_limited")
@@ -189,7 +400,27 @@ class AnnealingService:
                 tenant=tenant,
             )
         request = JobRequest.from_payload(payload)
+        if self.journal is not None and request.seed is None:
+            # Materialize the seed now so it lands in the accept record:
+            # a journal replay re-runs the job bit-identically to the
+            # run the crash interrupted.
+            request = dataclasses.replace(request, seed=secrets.randbits(31))
         job = self.store.create(request, tenant)
+        job.idempotency_key = key
+        self._bind_journal(job)
+        if self.journal is not None:
+            # WAL ordering: the accept record is fsynced before the job
+            # is enqueued (and before the caller's 202 goes out), so an
+            # acknowledged job can never be lost to a crash.
+            self.journal.accept(
+                job.id,
+                tenant,
+                dataclasses.asdict(request),
+                job.created_s,
+                idempotency_key=key,
+                fingerprint=fingerprint,
+            )
+            self._count("journal.records")
         if not self.pool.submit(job):
             job.finish(
                 JobState.ERROR,
@@ -207,7 +438,9 @@ class AnnealingService:
                 retry_after_s=1.0,
             )
         self._count("service.jobs_submitted")
-        return job
+        if key is not None:
+            self._register_idempotency_key(tenant, key, job.id, fingerprint)
+        return job, False
 
     # -- execution -----------------------------------------------------
     def _make_compiler(self, request: JobRequest) -> VerilogAnnealerCompiler:
@@ -234,6 +467,7 @@ class AnnealingService:
             seed=request.seed,
             cache=self.compile_cache,
             machines=self.config.machines,
+            trace=self._crash_hook,
         )
         compiler.runner.embedding_cache = self.embedding_cache
         return compiler
@@ -277,7 +511,13 @@ class AnnealingService:
 
     def execute(self, job: Job) -> None:
         """Worker entrypoint: run one job to a terminal state."""
-        job.mark_running()
+        attempt = job.mark_running()
+        if self.journal is not None:
+            # The running record is what lets recovery count crashed
+            # attempts: reach the quarantine threshold with no terminal
+            # and the job is poison, not merely unlucky.
+            self.journal.running(job.id, attempt)
+            self._count("journal.records")
         request = job.request
         deadline = (
             Deadline(request.deadline_s) if request.deadline_s is not None else None
@@ -356,14 +596,23 @@ class AnnealingService:
 
     # -- views ---------------------------------------------------------
     def health(self) -> Dict[str, Any]:
-        return {
+        body = {
             "status": "ok",
             "uptime_s": time.time() - self.started_s,
             "workers": self.pool.workers,
             "workers_alive": self.pool.alive_workers(),
             "queue_depth": self.pool.queue_depth(),
             "jobs": self.store.counts(),
+            "journal": {
+                "enabled": self.journal is not None,
+                "records_written": (
+                    self.journal.records_written if self.journal else 0
+                ),
+            },
         }
+        if self.recovery_report is not None:
+            body["recovery"] = self.recovery_report.as_dict()
+        return body
 
     def metrics_text(self) -> str:
         self._sync_cache_metrics()
@@ -515,23 +764,41 @@ class _Handler(BaseHTTPRequestHandler):
             raise ServiceError(
                 400, "invalid_json", f"request body is not valid JSON: {exc}"
             ) from exc
-        job = self.service.submit(payload, tenant=self._tenant())
-        self._send_json(
-            202,
-            {
-                "id": job.id,
-                "state": job.state,
-                "links": {
-                    "self": f"/jobs/{job.id}",
-                    "trace": f"/jobs/{job.id}/trace",
-                },
-            },
+        job, deduplicated = self.service.submit(
+            payload,
+            tenant=self._tenant(),
+            idempotency_key=self.headers.get("Idempotency-Key"),
         )
+        body = {
+            "id": job.id,
+            "state": job.state,
+            "links": {
+                "self": f"/jobs/{job.id}",
+                "trace": f"/jobs/{job.id}/trace",
+            },
+        }
+        if deduplicated:
+            # The retry-after-a-lost-202 path: same key, same payload,
+            # the original job -- nothing was re-executed.
+            body["deduplicated"] = True
+        self._send_json(202, body)
 
     def _get_job(self, match: "re.Match[str]") -> None:
         job_id, trace = match.group(1), match.group(2)
         job = self.service.store.get(job_id)
         if job is None:
+            evicted = self.service.store.evicted_info(job_id)
+            if evicted is not None:
+                # "Existed, completed, aged out" is not "never existed":
+                # a 410 with the eviction metadata lets clients stop
+                # retrying instead of treating the id as a typo.
+                self.service._count("service.gone_410")
+                raise ServiceError(
+                    410,
+                    "gone",
+                    f"job {job_id!r} was evicted by the retention bound",
+                    **evicted,
+                )
             raise ServiceError(404, "not_found", f"no job {job_id!r}")
         if trace:
             self._send_json(200, job.trace_payload())
@@ -633,11 +900,48 @@ def build_serve_parser() -> argparse.ArgumentParser:
         metavar="M",
         help="grid parameter for --topology (default: family flagship)",
     )
+    parser.add_argument(
+        "--state-dir",
+        default=None,
+        help=(
+            "directory for the write-ahead job journal; acknowledged jobs "
+            "survive crashes/restarts and are replayed on startup"
+        ),
+    )
+    recover = parser.add_mutually_exclusive_group()
+    recover.add_argument(
+        "--recover",
+        dest="recover",
+        action="store_true",
+        default=True,
+        help="replay the journal on startup (default with --state-dir)",
+    )
+    recover.add_argument(
+        "--no-recover",
+        dest="recover",
+        action="store_false",
+        help="skip journal replay (new jobs are still journaled)",
+    )
     return parser
 
 
+class _GracefulSignal(Exception):
+    """Raised out of ``serve_forever`` by the SIGTERM handler."""
+
+
+def _sigterm_handler(signum, frame):  # pragma: no cover - signal path
+    raise _GracefulSignal()
+
+
 def serve_main(argv: Optional[List[str]] = None) -> int:
-    """Entry point for ``python -m repro serve ...`` (blocks until ^C)."""
+    """Entry point for ``python -m repro serve ...``.
+
+    Blocks until SIGINT (^C) or SIGTERM -- both take the same
+    drain-and-flush path, so a container stop (docker/k8s sends
+    SIGTERM) is exactly as graceful as an interactive ^C: in-flight
+    jobs finish, the journal is flushed, and the exit code reports
+    whether the wind-down was clean.
+    """
     args = build_serve_parser().parse_args(argv)
     config = ServiceConfig(
         host=args.host,
@@ -649,17 +953,40 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         cache_dir=args.cache_dir,
         topology=args.topology,
         topology_size=args.topology_size,
+        state_dir=args.state_dir,
+        recover=args.recover,
     )
     server = AnnealingServer(config)
+    report = server.service.recovery_report
+    if report is not None:
+        print(
+            f"journal replay: {report.recovered_jobs} job(s) recovered in "
+            f"{report.replay_s * 1000:.0f}ms ({report.terminal_jobs} "
+            f"terminal, {report.requeued_jobs} requeued, "
+            f"{report.quarantined_jobs} quarantined)",
+            flush=True,
+        )
     print(
         f"annealing service listening on {server.url} "
         f"({config.workers} workers, queue {config.queue_size})",
         flush=True,
     )
     try:
+        # Only the main thread may install handlers; embedded callers
+        # (tests driving serve_main from a thread) just skip SIGTERM
+        # grace and rely on explicit shutdown.
+        signal.signal(signal.SIGTERM, _sigterm_handler)
+    except ValueError:
+        pass
+    try:
         server.serve_forever()
-    except KeyboardInterrupt:
-        print("shutting down (draining in-flight jobs)...", flush=True)
+    except (KeyboardInterrupt, _GracefulSignal) as exc:
+        cause = "SIGTERM" if isinstance(exc, _GracefulSignal) else "^C"
+        print(
+            f"shutting down on {cause} (draining in-flight jobs, "
+            "flushing journal)...",
+            flush=True,
+        )
         clean = server.service.shutdown(drain=True, timeout_s=30.0)
         server.server_close()
         return 0 if clean else 1

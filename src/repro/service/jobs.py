@@ -13,13 +13,13 @@ structured terminal error instead.
 
 from __future__ import annotations
 
-import itertools
+import re
 import secrets
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.hdl.errors import VerilogError, format_diagnostic
 from repro.qmasm.parser import parse_pin, parse_qmasm
@@ -285,15 +285,36 @@ class Job:
     error: Optional[Dict[str, Any]] = None
     cache_warm: bool = False
     stage_records: List[Dict[str, Any]] = field(default_factory=list)
+    #: Worker pickups so far (journaled; recovery quarantines a job
+    #: whose attempts reach the poison threshold with no terminal).
+    attempts: int = 0
+    #: The submission's Idempotency-Key, when one was given.
+    idempotency_key: Optional[str] = None
+    #: True when this job was rebuilt from the journal after a restart.
+    recovered: bool = False
 
     def __post_init__(self):
         self._lock = threading.Lock()
+        self._terminal_sink: Optional[Callable[["Job"], None]] = None
+
+    def bind_terminal_sink(self, sink: Callable[["Job"], None]) -> None:
+        """Install the journal callback invoked on every terminal transition.
+
+        Bound at creation (and at recovery), so *every* path that
+        finishes a job -- the executor, the pool's crash guard, the
+        queue-full rejection, shutdown fail-out -- durably records the
+        terminal state without each call site remembering to.
+        """
+        self._terminal_sink = sink
 
     # -- lifecycle -----------------------------------------------------
-    def mark_running(self) -> None:
+    def mark_running(self) -> int:
+        """Transition to running; returns the (1-based) attempt number."""
         with self._lock:
             self.state = JobState.RUNNING
             self.started_s = time.time()
+            self.attempts += 1
+            return self.attempts
 
     def finish(
         self,
@@ -313,6 +334,11 @@ class Job:
             self.cache_warm = cache_warm
             if stage_records is not None:
                 self.stage_records = stage_records
+            sink = self._terminal_sink
+        # The sink fsyncs; invoke it outside the lock so snapshot
+        # readers are never blocked behind journal I/O.
+        if sink is not None:
+            sink(self)
 
     # -- views ---------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
@@ -341,7 +367,26 @@ class Job:
                 body["result"] = self.result
             if self.error is not None:
                 body["error"] = self.error
+            if self.attempts > 1:
+                body["attempts"] = self.attempts
+            if self.recovered:
+                body["recovered"] = True
             return body
+
+    def terminal_record(self) -> Dict[str, Any]:
+        """The journal's ``terminal`` payload: everything a restarted
+        server needs to keep answering ``GET /jobs/<id>`` for this job."""
+        with self._lock:
+            return {
+                "state": self.state,
+                "result": self.result,
+                "error": self.error,
+                "cache_warm": self.cache_warm,
+                "stage_records": list(self.stage_records),
+                "started_s": self.started_s,
+                "finished_s": self.finished_s,
+                "attempts": self.attempts,
+            }
 
     def trace_payload(self) -> Dict[str, Any]:
         with self._lock:
@@ -356,32 +401,67 @@ class Job:
             return self.state in JobState.TERMINAL
 
 
+_JOB_ID_SEQ_RE = re.compile(r"^job-(\d+)-")
+
+
 class JobStore:
     """Thread-safe registry of jobs, bounded by evicting old terminals.
 
     Completed jobs are retained so clients can poll results, but a
     serving process must not grow without bound: once ``max_jobs`` is
     exceeded the oldest *terminal* jobs are evicted first (active jobs
-    are never dropped).
+    are never dropped).  Evictions leave a bounded *tombstone* behind,
+    so a poll for a recently-evicted job can answer a structured
+    ``410 Gone`` (with eviction metadata) instead of an
+    indistinguishable-from-a-typo 404.
     """
 
-    def __init__(self, max_jobs: int = 1024):
+    def __init__(self, max_jobs: int = 1024, max_tombstones: Optional[int] = None):
         self.max_jobs = max_jobs
+        self.max_tombstones = (
+            max_tombstones if max_tombstones is not None else max(1024, 4 * max_jobs)
+        )
         self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._tombstones: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._lock = threading.Lock()
-        self._ids = itertools.count(1)
+        self._next_seq = 1
 
     def create(self, request: JobRequest, tenant: str) -> Job:
         with self._lock:
-            job_id = f"job-{next(self._ids):06d}-{secrets.token_hex(4)}"
+            job_id = f"job-{self._next_seq:06d}-{secrets.token_hex(4)}"
+            self._next_seq += 1
             job = Job(id=job_id, request=request, tenant=tenant)
             self._jobs[job_id] = job
             self._evict_locked()
             return job
 
+    def restore(self, job: Job) -> None:
+        """Re-insert a journal-recovered job under its original id.
+
+        Bumps the sequence counter past the recovered id so post-restart
+        submissions never reuse a journaled sequence number.
+        """
+        with self._lock:
+            match = _JOB_ID_SEQ_RE.match(job.id)
+            if match:
+                self._next_seq = max(self._next_seq, int(match.group(1)) + 1)
+            self._jobs[job.id] = job
+            self._evict_locked()
+
     def get(self, job_id: str) -> Optional[Job]:
         with self._lock:
             return self._jobs.get(job_id)
+
+    def all_jobs(self) -> List[Job]:
+        """Retained jobs in insertion order (for journal compaction)."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def evicted_info(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """Eviction metadata for a job dropped by the retention bound."""
+        with self._lock:
+            info = self._tombstones.get(job_id)
+            return dict(info) if info is not None else None
 
     def counts(self) -> Dict[str, int]:
         with self._lock:
@@ -400,5 +480,15 @@ class JobStore:
         for job_id in list(self._jobs):
             if len(self._jobs) <= self.max_jobs:
                 break
-            if self._jobs[job_id].state in JobState.TERMINAL:
+            job = self._jobs[job_id]
+            if job.state in JobState.TERMINAL:
                 del self._jobs[job_id]
+                self._tombstones[job_id] = {
+                    "state_at_eviction": job.state,
+                    "created_s": job.created_s,
+                    "finished_s": job.finished_s,
+                    "evicted_s": time.time(),
+                    "tenant": job.tenant,
+                }
+                while len(self._tombstones) > self.max_tombstones:
+                    self._tombstones.popitem(last=False)

@@ -1,0 +1,219 @@
+"""Crash-safe write-ahead job journal for the annealing service.
+
+The service's durability contract is simple to state: **an acknowledged
+job is never lost**.  A ``202 Accepted`` is only sent after the job's
+``accept`` record -- including its validated request and the seed it
+will run with -- has been flushed *and fsynced* to the journal under
+``--state-dir``, so a crash, OOM-kill, or deploy restart at any later
+instant leaves enough on stable storage to re-run the job
+bit-identically (the pipeline is a pure function of the request and
+seed).
+
+The journal is an append-only JSONL file (``journal.jsonl``), one JSON
+object per line, fsynced per record:
+
+* ``accept``   -- job id, tenant, idempotency key + payload
+  fingerprint, the full validated request (seed materialized), and the
+  creation timestamp.  Written *before* the job is enqueued.
+* ``running``  -- job id and the attempt number, written when a worker
+  picks the job up.  The attempt count is how recovery distinguishes a
+  job that merely lost its process from one that *kills* its process:
+  two ``running`` records with no terminal means the job crashed the
+  worker twice and is quarantined rather than re-looped.
+* ``terminal`` -- job id, final state, and the full result/error
+  payload, so a restarted server keeps answering ``GET /jobs/<id>``
+  for jobs that finished before the crash.
+
+Appends tolerate being killed mid-write: a torn final line (no
+trailing newline, or truncated JSON) is skipped -- and counted -- on
+replay; every *complete* line is intact because the previous append
+fsynced it.  Rewrites (compaction after recovery) go through
+:func:`repro.core.cache.atomic_write_bytes`, the same
+temp+fsync+``os.replace`` discipline the cache disk tier and shard
+checkpoints use, so the journal file itself is never torn by a crash
+during compaction either.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.cache import atomic_write_bytes
+
+logger = logging.getLogger(__name__)
+
+#: Journal schema version, stamped on every record.
+JOURNAL_VERSION = 1
+JOURNAL_FILENAME = "journal.jsonl"
+
+
+def _encode(record: Dict[str, Any]) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"), default=str)
+
+
+@dataclass
+class ReplayResult:
+    """Everything one journal replay learned."""
+
+    #: Per-job ledgers in first-acceptance order.
+    ledgers: "Dict[str, JobLedger]" = field(default_factory=dict)
+    #: Complete records parsed.
+    records: int = 0
+    #: Torn/corrupt lines skipped (at most the crash-interrupted tail
+    #: under normal operation; mid-file corruption is also tolerated).
+    torn_records: int = 0
+
+
+@dataclass
+class JobLedger:
+    """One job's journaled history, folded from its records."""
+
+    job_id: str
+    accept: Optional[Dict[str, Any]] = None
+    #: Number of ``running`` records (= worker pickups that never
+    #: reached a terminal before the process died, once recovery runs).
+    attempts: int = 0
+    terminal: Optional[Dict[str, Any]] = None
+
+
+class JobJournal:
+    """Append-only, fsync-per-record job journal under a state dir.
+
+    Thread-safe: worker threads journal ``running``/``terminal``
+    records concurrently with request threads journaling ``accept``.
+    One lock serializes appends -- the fsync is the cost of the
+    durability contract and dominates anyway.
+    """
+
+    def __init__(self, state_dir: str, fsync: bool = True):
+        self.state_dir = state_dir
+        self.fsync = fsync
+        os.makedirs(state_dir, exist_ok=True)
+        self.path = os.path.join(state_dir, JOURNAL_FILENAME)
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self.records_written = 0
+        self.compactions = 0
+
+    # -- appends -------------------------------------------------------
+    def _append(self, record: Dict[str, Any]) -> None:
+        record.setdefault("v", JOURNAL_VERSION)
+        record.setdefault("ts", time.time())
+        line = _encode(record) + "\n"
+        with self._lock:
+            if self._handle.closed:  # post-shutdown straggler: drop
+                logger.debug("journal closed; dropping %s", record.get("type"))
+                return
+            self._handle.write(line)
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+            self.records_written += 1
+
+    def accept(
+        self,
+        job_id: str,
+        tenant: str,
+        request_fields: Dict[str, Any],
+        created_s: float,
+        idempotency_key: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+    ) -> None:
+        """Durably record one acceptance; must precede the HTTP 202."""
+        self._append(
+            {
+                "type": "accept",
+                "job_id": job_id,
+                "tenant": tenant,
+                "request": request_fields,
+                "created_s": created_s,
+                "key": idempotency_key,
+                "fingerprint": fingerprint,
+            }
+        )
+
+    def running(self, job_id: str, attempt: int) -> None:
+        self._append({"type": "running", "job_id": job_id, "attempt": attempt})
+
+    def terminal(self, job_id: str, snapshot: Dict[str, Any]) -> None:
+        """Record a terminal transition with its full result payload."""
+        self._append({"type": "terminal", "job_id": job_id, **snapshot})
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Flush and close (graceful drain's final step); idempotent."""
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                if self.fsync:
+                    os.fsync(self._handle.fileno())
+                self._handle.close()
+
+    # -- replay --------------------------------------------------------
+    @staticmethod
+    def replay_path(path: str) -> ReplayResult:
+        """Fold a journal file into per-job ledgers (missing file: empty)."""
+        result = ReplayResult()
+        if not os.path.exists(path):
+            return result
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                text = line.strip()
+                if not text:
+                    continue
+                try:
+                    record = json.loads(text)
+                    job_id = record["job_id"]
+                    kind = record["type"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    # A crash mid-append leaves at most one torn tail
+                    # line; skip (and count) rather than refuse to
+                    # recover every intact job before it.
+                    result.torn_records += 1
+                    continue
+                result.records += 1
+                ledger = result.ledgers.get(job_id)
+                if ledger is None:
+                    ledger = result.ledgers[job_id] = JobLedger(job_id=job_id)
+                if kind == "accept":
+                    ledger.accept = record
+                elif kind == "running":
+                    ledger.attempts = max(
+                        ledger.attempts, int(record.get("attempt", 0))
+                    )
+                elif kind == "terminal":
+                    ledger.terminal = record
+        return result
+
+    def replay(self) -> ReplayResult:
+        return self.replay_path(self.path)
+
+    # -- compaction ----------------------------------------------------
+    def compact(self, entries: List[Tuple[Dict[str, Any], Optional[Dict[str, Any]]]]) -> None:
+        """Atomically rewrite the journal to the given (accept, terminal) pairs.
+
+        Called after a recovery pass with the jobs actually retained in
+        the store, so the journal stays bounded across restarts instead
+        of accreting every job the server ever saw.  The rewrite goes
+        through :func:`atomic_write_bytes`: a crash during compaction
+        leaves either the old journal or the new one, never a torn
+        file.
+        """
+        lines: List[str] = []
+        for accept_record, terminal_record in entries:
+            lines.append(_encode(accept_record))
+            if terminal_record is not None:
+                lines.append(_encode(terminal_record))
+        data = ("\n".join(lines) + "\n" if lines else "").encode("utf-8")
+        with self._lock:
+            atomic_write_bytes(self.path, data)
+            if not self._handle.closed:
+                self._handle.close()
+            self._handle = open(self.path, "a", encoding="utf-8")
+            self.compactions += 1

@@ -15,6 +15,24 @@ Exit code 0 means the serving contract held: the server answered
 resubmission also reached ``done`` *with* ``cache_warm`` set, and the
 ``service.cache_warm`` counter advanced.  Any deviation exits 1 with a
 message naming the failed check.
+
+Beyond the default checks, the client doubles as the chaos-test driver
+(the CI ``service-chaos`` job and the recovery benchmark):
+
+* ``--jobs N --ack-file acks.jsonl`` -- submit N seeded jobs, appending
+  one JSONL line per *acknowledged* (202) submission: the job id, its
+  idempotency key, and the payload.  ``--no-wait`` skips polling, so
+  the file is exactly the set of acknowledgements the durable server
+  must honor across a SIGKILL.
+* ``--verify-ack-file acks.jsonl`` -- against a restarted server, poll
+  every acknowledged job to ``done`` and resubmit one with its original
+  idempotency key, asserting the dedup returns the original id.  Any
+  acknowledged job the restarted server lost fails the run.
+
+All requests share one retry policy: 429 (rate limited) and 503
+(queue full) answers are retried with capped exponential backoff and
+deterministic jitter, honoring the server's ``Retry-After`` header for
+both statuses.
 """
 
 from __future__ import annotations
@@ -25,7 +43,7 @@ import sys
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 SMOKE_SOURCE = """
 module mult (A, B, C);
@@ -44,26 +62,99 @@ SMOKE_JOB = {
     "seed": 7,
 }
 
+#: Statuses the client retries: rate limited and queue full are both
+#: "back off and resubmit", not errors.
+RETRYABLE_STATUSES = (429, 503)
+MAX_RETRIES = 8
+BACKOFF_BASE_S = 0.1
+BACKOFF_CAP_S = 5.0
+
 
 class SmokeFailure(Exception):
     """One named smoke check failed."""
 
 
-def _request(
-    url: str, payload: Optional[Dict[str, Any]] = None, timeout_s: float = 30.0
-) -> Tuple[int, Any]:
+def backoff_delay(
+    attempt: int,
+    retry_after_s: Optional[float] = None,
+    base_s: float = BACKOFF_BASE_S,
+    cap_s: float = BACKOFF_CAP_S,
+) -> float:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``base * 2**attempt`` capped at ``cap_s``, plus a jitter derived
+    from the attempt number itself (not a clock or RNG) so repeated
+    runs -- and the tests pinning this policy -- see identical delays
+    while concurrent clients still decorrelate by attempt phase.  A
+    server-provided ``Retry-After`` is a floor, never ignored: the
+    server knows when capacity returns better than any local guess.
+    """
+    delay = min(base_s * (2.0 ** attempt), cap_s)
+    # Deterministic jitter in [0, 25%] of the delay, from a small LCG
+    # over the attempt index.
+    jitter_frac = ((attempt * 2654435761) % 1000) / 1000.0 * 0.25
+    delay += delay * jitter_frac
+    if retry_after_s is not None:
+        delay = max(delay, retry_after_s)
+    return min(delay, cap_s * 1.25)
+
+
+def _request_once(
+    url: str,
+    payload: Optional[Dict[str, Any]] = None,
+    timeout_s: float = 30.0,
+    headers: Optional[Dict[str, str]] = None,
+) -> Tuple[int, Any, Optional[float]]:
+    """One HTTP round trip -> (status, body, retry_after_s)."""
     data = json.dumps(payload).encode("utf-8") if payload is not None else None
+    all_headers = {"Content-Type": "application/json", "X-Tenant": "smoke"}
+    if headers:
+        all_headers.update(headers)
     request = urllib.request.Request(
         url,
         data=data,
-        headers={"Content-Type": "application/json", "X-Tenant": "smoke"},
+        headers=all_headers,
         method="POST" if payload is not None else "GET",
     )
     try:
         with urllib.request.urlopen(request, timeout=timeout_s) as reply:
-            return reply.status, json.loads(reply.read().decode("utf-8"))
+            return reply.status, json.loads(reply.read().decode("utf-8")), None
     except urllib.error.HTTPError as exc:
-        return exc.code, json.loads(exc.read().decode("utf-8"))
+        retry_after = None
+        header = exc.headers.get("Retry-After") if exc.headers else None
+        if header is not None:
+            try:
+                retry_after = float(header)
+            except ValueError:
+                pass
+        return exc.code, json.loads(exc.read().decode("utf-8")), retry_after
+
+
+def _request(
+    url: str,
+    payload: Optional[Dict[str, Any]] = None,
+    timeout_s: float = 30.0,
+    headers: Optional[Dict[str, str]] = None,
+    max_retries: int = MAX_RETRIES,
+) -> Tuple[int, Any]:
+    """An HTTP round trip with unified 429/503 retry.
+
+    Both "slow down" answers -- 429 rate_limited and 503 queue_full --
+    take the same capped-backoff path, honoring ``Retry-After`` from
+    either.  Retries exhausted returns the last answer for the caller
+    to judge.
+    """
+    status, body, retry_after = _request_once(
+        url, payload, timeout_s=timeout_s, headers=headers
+    )
+    attempt = 0
+    while status in RETRYABLE_STATUSES and attempt < max_retries:
+        time.sleep(backoff_delay(attempt, retry_after_s=retry_after))
+        attempt += 1
+        status, body, retry_after = _request_once(
+            url, payload, timeout_s=timeout_s, headers=headers
+        )
+    return status, body
 
 
 def _await_terminal(base: str, job_id: str, timeout_s: float = 60.0) -> Dict:
@@ -114,6 +205,127 @@ def run_smoke(base: str) -> None:
     )
 
 
+def _load_payload(index: int) -> Dict[str, Any]:
+    """One seeded load job; distinct seeds defeat result aliasing."""
+    payload = dict(SMOKE_JOB)
+    payload["seed"] = 1000 + index
+    payload["num_reads"] = 100
+    return payload
+
+
+def run_load(
+    base: str,
+    jobs: int,
+    ack_file: Optional[str] = None,
+) -> None:
+    """Submit ``jobs`` seeded submissions; record every acknowledgement.
+
+    Each acknowledged (202) submission appends one line to ``ack_file``
+    *after* the acknowledgement arrives and is flushed before the next
+    submission -- the file is a faithful lower bound on what the server
+    acknowledged, which is exactly the durability contract a restart
+    must honor.
+    """
+    handle = open(ack_file, "a", encoding="utf-8") if ack_file else None
+    acked = 0
+    try:
+        for index in range(jobs):
+            payload = _load_payload(index)
+            key = f"smoke-load-{index}"
+            status, body = _request(
+                f"{base}/jobs", payload, headers={"Idempotency-Key": key}
+            )
+            if status != 202:
+                # Retries exhausted against a saturated server: stop
+                # submitting, but everything already acked still counts.
+                print(
+                    f"load: submission {index} not accepted after retries "
+                    f"(status {status}); stopping at {acked} acks",
+                    file=sys.stderr,
+                )
+                break
+            acked += 1
+            if handle is not None:
+                handle.write(
+                    json.dumps(
+                        {"id": body["id"], "key": key, "payload": payload},
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+                handle.flush()
+    finally:
+        if handle is not None:
+            handle.close()
+    _expect(acked > 0, "load run acknowledged at least one job")
+    print(f"load: {acked}/{jobs} submissions acknowledged", flush=True)
+
+
+def run_verify_acks(base: str, ack_file: str, timeout_s: float = 120.0) -> None:
+    """Against a (re)started server, hold it to its acknowledgements.
+
+    Every job the previous incarnation acked must reach ``done`` --
+    recovered terminals answer immediately, orphans after replay -- and
+    a resubmission carrying the first ack's idempotency key must dedup
+    to the original id without re-executing.
+    """
+    acks: List[Dict[str, Any]] = []
+    with open(ack_file, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                acks.append(json.loads(line))
+    _expect(bool(acks), f"ack file {ack_file} is non-empty")
+
+    lost: List[str] = []
+    states: Dict[str, int] = {}
+    for ack in acks:
+        try:
+            snapshot = _await_terminal(base, ack["id"], timeout_s=timeout_s)
+        except SmokeFailure:
+            lost.append(ack["id"])
+            continue
+        state = snapshot.get("state", "?")
+        states[state] = states.get(state, 0) + 1
+        if state != "done":
+            lost.append(f"{ack['id']} ({state})")
+    _expect(
+        not lost,
+        f"all {len(acks)} acknowledged jobs completed; lost/failed: {lost}",
+    )
+
+    # Idempotent resubmission: same key + same payload -> original id.
+    first = acks[0]
+    status, body = _request(
+        f"{base}/jobs",
+        first["payload"],
+        headers={"Idempotency-Key": first["key"]},
+    )
+    _expect(
+        status == 202 and body.get("id") == first["id"],
+        "resubmitted idempotency key returned the original job id "
+        f"(got status {status}, id {body.get('id')!r}, want {first['id']!r})",
+    )
+    _expect(
+        body.get("deduplicated") is True,
+        "resubmission was flagged deduplicated (nothing re-executed)",
+    )
+
+    status, metrics = _request(f"{base}/metrics?format=json")
+    _expect(status == 200, "metrics endpoint answered after restart")
+    counters = metrics.get("counters", {})
+    _expect(
+        counters.get("service.idempotent_hits", 0) >= 1,
+        "service.idempotent_hits counter advanced",
+    )
+    print(
+        f"verify: {len(acks)} acknowledged jobs all done "
+        f"(recovered={counters.get('service.recovered_jobs', 0)}, "
+        f"requeued={counters.get('service.requeued_jobs', 0)})",
+        flush=True,
+    )
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service.smoke", description=__doc__.splitlines()[0]
@@ -122,6 +334,30 @@ def main(argv: Optional[list] = None) -> int:
         "--url",
         default=None,
         help="base URL of a running server; omit to self-host in-process",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="load mode: submit N seeded jobs instead of the smoke checks",
+    )
+    parser.add_argument(
+        "--ack-file",
+        default=None,
+        help="load mode: append one JSONL line per acknowledged submission",
+    )
+    parser.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="load mode: exit after submitting (don't poll to terminal)",
+    )
+    parser.add_argument(
+        "--verify-ack-file",
+        default=None,
+        metavar="FILE",
+        help="verify mode: poll every acked job in FILE to done and check "
+        "idempotent resubmission (requires --url)",
     )
     args = parser.parse_args(argv)
 
@@ -138,7 +374,14 @@ def main(argv: Optional[list] = None) -> int:
     base = base.rstrip("/")
 
     try:
-        run_smoke(base)
+        if args.verify_ack_file is not None:
+            run_verify_acks(base, args.verify_ack_file)
+        elif args.jobs is not None:
+            run_load(base, args.jobs, ack_file=args.ack_file)
+            if not args.no_wait and args.ack_file:
+                run_verify_acks(base, args.ack_file)
+        else:
+            run_smoke(base)
     except SmokeFailure as exc:
         print(f"SMOKE FAIL: {exc}", file=sys.stderr)
         return 1
@@ -148,7 +391,12 @@ def main(argv: Optional[list] = None) -> int:
             if not clean:
                 print("SMOKE FAIL: shutdown left threads behind", file=sys.stderr)
                 return 1
-    print(f"SMOKE OK: cold+warm job lifecycle against {base}")
+    mode = (
+        "ack verification"
+        if args.verify_ack_file
+        else ("load run" if args.jobs is not None else "cold+warm job lifecycle")
+    )
+    print(f"SMOKE OK: {mode} against {base}")
     return 0
 
 

@@ -169,12 +169,17 @@ class ServiceClient:
     def __init__(self, base_url: str):
         self.base_url = base_url.rstrip("/")
 
-    def request(self, method, path, payload=None, tenant="tests", timeout_s=30.0):
+    def request(
+        self, method, path, payload=None, tenant="tests", timeout_s=30.0, headers=None
+    ):
         data = json.dumps(payload).encode("utf-8") if payload is not None else None
+        all_headers = {"Content-Type": "application/json", "X-Tenant": tenant}
+        if headers:
+            all_headers.update(headers)
         req = urllib.request.Request(
             self.base_url + path,
             data=data,
-            headers={"Content-Type": "application/json", "X-Tenant": tenant},
+            headers=all_headers,
             method=method,
         )
         try:

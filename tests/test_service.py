@@ -558,7 +558,7 @@ def test_shutdown_drains_in_flight_jobs():
         ServiceConfig(port=0, workers=1, rate_limit_per_s=None)
     )
     service.start()
-    job = service.submit(
+    job, deduplicated = service.submit(
         {
             "source": LISTING_6_MULT,
             "pins": ["C[7:0] := 10001111"],
@@ -567,6 +567,149 @@ def test_shutdown_drains_in_flight_jobs():
             "seed": 1,
         }
     )
+    assert deduplicated is False
     assert service.shutdown(drain=True, timeout_s=60.0)
     assert job.is_terminal()
     assert job.snapshot()["state"] == "done"
+
+
+# ----------------------------------------------------------------------
+# Eviction tombstones: "aged out" answers 410, never a typo-like 404.
+# ----------------------------------------------------------------------
+def test_store_eviction_leaves_tombstone():
+    store = JobStore(max_jobs=1)
+    a = store.create(JobRequest(source="x"), "alice")
+    a.finish(JobState.DONE, result={})
+    store.create(JobRequest(source="x"), "alice")
+    assert store.get(a.id) is None
+    info = store.evicted_info(a.id)
+    assert info is not None
+    assert info["state_at_eviction"] == "done"
+    assert info["tenant"] == "alice"
+    assert info["evicted_s"] >= info["created_s"]
+    # Never-seen ids have no tombstone.
+    assert store.evicted_info("job-999999-cafecafe") is None
+
+
+def test_tombstones_are_bounded():
+    store = JobStore(max_jobs=1, max_tombstones=3)
+    evicted = []
+    for _ in range(6):
+        job = store.create(JobRequest(source="x"), "t")
+        job.finish(JobState.DONE, result={})
+        evicted.append(job.id)
+    # Only the newest max_tombstones eviction records survive.
+    remembered = [jid for jid in evicted if store.evicted_info(jid) is not None]
+    assert len(remembered) == 3
+    assert remembered == evicted[-4:-1]  # the last job is still retained
+
+
+class TestEvictedJobsHTTP:
+    @pytest.fixture()
+    def tiny_server(self):
+        server, client = start_service_server(
+            ServiceConfig(port=0, workers=1, rate_limit_per_s=None, max_jobs=1)
+        )
+        yield server, client
+        assert server.shutdown_service(drain=True, timeout_s=30.0)
+
+    def test_evicted_job_is_structured_410(self, tiny_server):
+        _, client = tiny_server
+        job = {"source": "A -1\n", "language": "qmasm", "solver": "exact"}
+        status, first = client.post("/jobs", job)
+        assert status == 202
+        client.await_terminal(first["id"])
+        # A second submission evicts the finished first (max_jobs=1).
+        status, second = client.post("/jobs", job)
+        assert status == 202
+        client.await_terminal(second["id"])
+
+        status, body = client.get(f"/jobs/{first['id']}")
+        assert status == 410
+        assert body["error"] == "gone"
+        assert body["state_at_eviction"] == "done"
+        assert "evicted_s" in body
+        # A never-submitted id is still a plain 404.
+        status, body = client.get("/jobs/job-999999-deadbeef")
+        assert status == 404 and body["error"] == "not_found"
+
+        status, metrics = client.get("/metrics?format=json")
+        assert metrics["counters"]["service.gone_410"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Idempotent submission: retried POSTs dedup to the original job.
+# ----------------------------------------------------------------------
+class TestIdempotency:
+    JOB = {"source": "A -1\n", "language": "qmasm", "solver": "exact"}
+
+    def test_header_key_dedups_resubmission(self, service_server):
+        _, client = service_server
+        headers = {"Idempotency-Key": "retry-123"}
+        status, first = client.request(
+            "POST", "/jobs", payload=self.JOB, headers=headers
+        )[:2]
+        assert status == 202
+        assert "deduplicated" not in first
+        client.await_terminal(first["id"])
+
+        status, second = client.request(
+            "POST", "/jobs", payload=self.JOB, headers=headers
+        )[:2]
+        assert status == 202
+        assert second["id"] == first["id"]
+        assert second["deduplicated"] is True
+
+        status, metrics = client.get("/metrics?format=json")
+        counters = metrics["counters"]
+        assert counters["service.jobs_submitted"] == 1
+        assert counters["service.idempotent_hits"] == 1
+
+    def test_body_field_key_dedups(self, service_server):
+        _, client = service_server
+        job = dict(self.JOB, idempotency_key="body-key-1")
+        status, first = client.post("/jobs", job)
+        assert status == 202
+        status, second = client.post("/jobs", job)
+        assert status == 202
+        assert second["id"] == first["id"] and second["deduplicated"] is True
+
+    def test_same_key_different_payload_is_409(self, service_server):
+        _, client = service_server
+        headers = {"Idempotency-Key": "conflicted"}
+        status, _ = client.request(
+            "POST", "/jobs", payload=self.JOB, headers=headers
+        )[:2]
+        assert status == 202
+        other = dict(self.JOB, num_reads=7)
+        status, body = client.request(
+            "POST", "/jobs", payload=other, headers=headers
+        )[:2]
+        assert status == 409
+        assert body["error"] == "idempotency_conflict"
+        status, metrics = client.get("/metrics?format=json")
+        assert metrics["counters"]["service.idempotency_conflicts"] == 1
+
+    def test_invalid_key_is_400(self, service_server):
+        _, client = service_server
+        status, body = client.post(
+            "/jobs", dict(self.JOB, idempotency_key="   ")
+        )
+        assert status == 400
+        assert body["field"] == "idempotency_key"
+        status, body = client.post(
+            "/jobs", dict(self.JOB, idempotency_key="x" * 300)
+        )
+        assert status == 400
+
+    def test_tenants_do_not_share_keys(self, service_server):
+        _, client = service_server
+        headers = {"Idempotency-Key": "shared-key"}
+        status, alice = client.request(
+            "POST", "/jobs", payload=self.JOB, tenant="alice", headers=headers
+        )[:2]
+        status, bob = client.request(
+            "POST", "/jobs", payload=self.JOB, tenant="bob", headers=headers
+        )[:2]
+        assert alice["id"] != bob["id"]
+        assert "deduplicated" not in bob
